@@ -1,0 +1,131 @@
+package dynamicrumor_test
+
+// The benchmark harness regenerates every result of the paper's evaluation
+// (one benchmark per experiment E1–E11, matching the tables in
+// EXPERIMENTS.md) and additionally benchmarks the core simulators so
+// performance regressions in the hot paths are visible.
+
+import (
+	"testing"
+
+	"dynamicrumor/rumor"
+)
+
+// benchConfig returns a deterministic, benchmark-sized experiment
+// configuration: quick sizes so a full `go test -bench=.` stays in the range
+// of minutes, but the same code paths as the full reproduction.
+func benchConfig() rumor.ExperimentConfig {
+	cfg := rumor.QuickExperimentConfig()
+	cfg.Seed = 20200424
+	return cfg
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := rumor.RunExperiment(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !tbl.Passed {
+			b.Fatalf("%s failed its shape checks:\n%s", id, tbl.Text())
+		}
+	}
+}
+
+// One benchmark per paper result (theorem / observation / figure).
+
+func BenchmarkE1Theorem11UpperBound(b *testing.B)        { benchmarkExperiment(b, "E1") }
+func BenchmarkE2Theorem12Tightness(b *testing.B)         { benchmarkExperiment(b, "E2") }
+func BenchmarkE3Theorem13AbsoluteBound(b *testing.B)     { benchmarkExperiment(b, "E3") }
+func BenchmarkE4Theorem15AbsoluteTightness(b *testing.B) { benchmarkExperiment(b, "E4") }
+func BenchmarkE5Theorem17Dichotomy(b *testing.B)         { benchmarkExperiment(b, "E5") }
+func BenchmarkE6Theorem17StarTail(b *testing.B)          { benchmarkExperiment(b, "E6") }
+func BenchmarkE7Lemma22PoissonTail(b *testing.B)         { benchmarkExperiment(b, "E7") }
+func BenchmarkE8Observation41(b *testing.B)              { benchmarkExperiment(b, "E8") }
+func BenchmarkE9Lemma52RegularUnitTime(b *testing.B)     { benchmarkExperiment(b, "E9") }
+func BenchmarkE10RelatedWorkMG(b *testing.B)             { benchmarkExperiment(b, "E10") }
+func BenchmarkE11Corollary16Combined(b *testing.B)       { benchmarkExperiment(b, "E11") }
+func BenchmarkE12Lemma42StringCrossing(b *testing.B)     { benchmarkExperiment(b, "E12") }
+
+// Simulator micro-benchmarks (hot paths of the harness).
+
+func BenchmarkAsyncCliqueN1000(b *testing.B) {
+	net := rumor.Static(rumor.Clique(1000))
+	rng := rumor.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rumor.SpreadAsync(net, rumor.AsyncOptions{Start: 0}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAsyncExpanderN10000(b *testing.B) {
+	rng := rumor.NewRNG(2)
+	net := rumor.Static(rumor.Expander(10000, 6, rng))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rumor.SpreadAsync(net, rumor.AsyncOptions{Start: 0}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAsyncDynamicStarN5000(b *testing.B) {
+	rng := rumor.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := rumor.NewDichotomyG2(5000, rng.Split(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rumor.SpreadAsync(net, rumor.AsyncOptions{Start: net.StartVertex()}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyncCliqueN1000(b *testing.B) {
+	net := rumor.Static(rumor.Clique(1000))
+	rng := rumor.NewRNG(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rumor.SpreadSync(net, rumor.SyncOptions{Start: 0}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloodingTorus64x64(b *testing.B) {
+	net := rumor.Static(rumor.Torus(64, 64))
+	rng := rumor.NewRNG(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rumor.SpreadFlooding(net, rumor.SyncOptions{Start: 0}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConductanceEstimateN2000(b *testing.B) {
+	rng := rumor.NewRNG(6)
+	g := rumor.Expander(2000, 6, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rumor.ConductanceEstimate(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGNRhoConstructionN2048(b *testing.B) {
+	rng := rumor.NewRNG(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rumor.NewRhoDiligentNetwork(2048, 0.1, 0, rng.Split(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's evaluation: one experiment per
+// theorem, observation and figure (see DESIGN.md and EXPERIMENTS.md).
+//
+// Example:
+//
+//	experiments                 # run everything at full scale
+//	experiments -quick          # reduced sizes (CI-friendly)
+//	experiments -id E5,E6       # only the dichotomy experiments
+//	experiments -csv            # also emit CSV after each table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynamicrumor/rumor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	idFlag := fs.String("id", "all", "comma-separated experiment IDs (e.g. E1,E5) or 'all'")
+	quick := fs.Bool("quick", false, "use reduced problem sizes")
+	seed := fs.Uint64("seed", 0, "override the random seed (0 keeps the default)")
+	reps := fs.Int("reps", 0, "override the repetition count (0 keeps per-experiment defaults)")
+	csv := fs.Bool("csv", false, "also print each table as CSV")
+	list := fs.Bool("list", false, "list available experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range rumor.ExperimentIDs() {
+			title, _ := rumor.ExperimentTitle(id)
+			fmt.Fprintf(out, "%-4s %s\n", id, title)
+		}
+		return nil
+	}
+
+	cfg := rumor.DefaultExperimentConfig()
+	if *quick {
+		cfg = rumor.QuickExperimentConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *reps != 0 {
+		cfg.Reps = *reps
+	}
+
+	ids := rumor.ExperimentIDs()
+	if *idFlag != "all" {
+		ids = nil
+		for _, id := range strings.Split(*idFlag, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		tbl, err := rumor.RunExperiment(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(out, tbl.Text())
+		if *csv {
+			fmt.Fprintln(out, tbl.CSV())
+		}
+		if !tbl.Passed {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed their shape checks", failed)
+	}
+	return nil
+}

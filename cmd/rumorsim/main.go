@@ -1,0 +1,187 @@
+// Command rumorsim simulates a rumor-spreading process on a chosen network
+// family and reports spread-time statistics.
+//
+// Example:
+//
+//	rumorsim -family clique -n 1000 -algo async -reps 20
+//	rumorsim -family dynamic-star -n 500 -algo sync
+//	rumorsim -family gnrho -n 1024 -rho 0.25 -algo async -reps 8
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"dynamicrumor/rumor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rumorsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	family string
+	algo   string
+	n      int
+	rho    float64
+	p      float64
+	q      float64
+	reps   int
+	seed   uint64
+	trace  bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rumorsim", flag.ContinueOnError)
+	var opts options
+	fs.StringVar(&opts.family, "family", "clique",
+		"network family: clique, star, cycle, path, hypercube, expander, er, "+
+			"dynamic-star, dichotomy-g1, gnrho, absgnrho, edge-markovian, mobile")
+	fs.StringVar(&opts.algo, "algo", "async", "algorithm: async, sync, flood, push, pull")
+	fs.IntVar(&opts.n, "n", 1000, "number of vertices")
+	fs.Float64Var(&opts.rho, "rho", 0.25, "target diligence for gnrho/absgnrho")
+	fs.Float64Var(&opts.p, "p", 0.05, "edge birth probability (edge-markovian) or ER edge probability")
+	fs.Float64Var(&opts.q, "q", 0.5, "edge death probability (edge-markovian)")
+	fs.IntVar(&opts.reps, "reps", 10, "number of repetitions")
+	fs.Uint64Var(&opts.seed, "seed", 1, "random seed")
+	fs.BoolVar(&opts.trace, "trace", false, "print the informed-count trace of the first run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if opts.n < 2 {
+		return errors.New("-n must be at least 2")
+	}
+	if opts.reps < 1 {
+		return errors.New("-reps must be at least 1")
+	}
+	return simulate(opts, os.Stdout)
+}
+
+func simulate(opts options, out *os.File) error {
+	root := rumor.NewRNG(opts.seed)
+	var times []float64
+	completedAll := true
+	for rep := 0; rep < opts.reps; rep++ {
+		rng := root.Split(uint64(rep) + 1)
+		net, start, err := buildNetwork(opts, rng.Split(1))
+		if err != nil {
+			return err
+		}
+		res, err := runAlgo(opts, net, start, rng.Split(2), rep == 0 && opts.trace)
+		if err != nil {
+			return err
+		}
+		if !res.Completed {
+			completedAll = false
+		}
+		times = append(times, res.SpreadTime)
+		if rep == 0 && opts.trace {
+			for _, p := range res.Trace {
+				fmt.Fprintf(out, "trace t=%.4f informed=%d\n", p.Time, p.Informed)
+			}
+		}
+	}
+	mean, min, max := 0.0, times[0], times[0]
+	for _, t := range times {
+		mean += t
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	mean /= float64(len(times))
+	fmt.Fprintf(out, "family=%s algo=%s n=%d reps=%d\n", opts.family, opts.algo, opts.n, opts.reps)
+	fmt.Fprintf(out, "spread time: mean=%.3f min=%.3f max=%.3f (all completed: %v)\n",
+		mean, min, max, completedAll)
+	return nil
+}
+
+func buildNetwork(opts options, rng *rumor.RNG) (rumor.Network, int, error) {
+	n := opts.n
+	switch opts.family {
+	case "clique":
+		return rumor.Static(rumor.Clique(n)), 0, nil
+	case "star":
+		return rumor.Static(rumor.Star(n, 0)), 1, nil
+	case "cycle":
+		return rumor.Static(rumor.Cycle(n)), 0, nil
+	case "path":
+		return rumor.Static(rumor.Path(n)), 0, nil
+	case "hypercube":
+		d := 0
+		for 1<<uint(d+1) <= n {
+			d++
+		}
+		return rumor.Static(rumor.Hypercube(d)), 0, nil
+	case "expander":
+		return rumor.Static(rumor.Expander(n, 6, rng)), 0, nil
+	case "er":
+		return rumor.Static(rumor.ErdosRenyi(n, opts.p, rng)), 0, nil
+	case "dynamic-star":
+		net, err := rumor.NewDichotomyG2(n-1, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	case "dichotomy-g1":
+		net, err := rumor.NewDichotomyG1(n - 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	case "gnrho":
+		net, err := rumor.NewRhoDiligentNetwork(n, opts.rho, 0, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	case "absgnrho":
+		net, err := rumor.NewAbsDiligentNetwork(n, opts.rho, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	case "edge-markovian":
+		net, err := rumor.NewEdgeMarkovian(n, opts.p, opts.q, rumor.Cycle(n), rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, 0, nil
+	case "mobile":
+		side := 1
+		for side*side*4 < n {
+			side++
+		}
+		net, err := rumor.NewMobileAgents(n, side, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown family %q", opts.family)
+	}
+}
+
+func runAlgo(opts options, net rumor.Network, start int, rng *rumor.RNG, trace bool) (*rumor.Result, error) {
+	switch opts.algo {
+	case "async":
+		return rumor.SpreadAsync(net, rumor.AsyncOptions{Start: start, RecordTrace: trace}, rng)
+	case "push":
+		return rumor.SpreadAsync(net, rumor.AsyncOptions{Start: start, Mode: rumor.PushOnly, RecordTrace: trace}, rng)
+	case "pull":
+		return rumor.SpreadAsync(net, rumor.AsyncOptions{Start: start, Mode: rumor.PullOnly, RecordTrace: trace}, rng)
+	case "sync":
+		return rumor.SpreadSync(net, rumor.SyncOptions{Start: start, RecordTrace: trace}, rng)
+	case "flood":
+		return rumor.SpreadFlooding(net, rumor.SyncOptions{Start: start, RecordTrace: trace}, rng)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", opts.algo)
+	}
+}

@@ -1,0 +1,10 @@
+// Package dynamicrumor is the module root of a from-scratch Go reproduction
+// of "Tight Analysis of Asynchronous Rumor Spreading in Dynamic Networks"
+// (Pourmiri & Mans, PODC 2020).
+//
+// The public API lives in the rumor subpackage; the executables live under
+// cmd/ and the runnable examples under examples/. See README.md for the
+// architecture overview, DESIGN.md for the system inventory and the mapping
+// from paper results to modules, and EXPERIMENTS.md for the reproduced
+// evaluation.
+package dynamicrumor

@@ -1,0 +1,142 @@
+// Package analysis aggregates spreading traces across Monte-Carlo runs into
+// spread curves: the informed fraction as a function of time, quantiles of
+// the time needed to reach a target fraction, and simple exponential-growth
+// fits of the early phase. These are the plotting-ready series behind the
+// figures of rumor-spreading papers.
+package analysis
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/stats"
+)
+
+// ErrNoTraces is returned when no usable traces are supplied.
+var ErrNoTraces = errors.New("analysis: no traces with recorded points")
+
+// CurvePoint is one point of an aggregated spread curve.
+type CurvePoint struct {
+	Time float64
+	// MeanFraction is the informed fraction averaged over the runs.
+	MeanFraction float64
+	// MinFraction and MaxFraction are the envelope over the runs.
+	MinFraction float64
+	MaxFraction float64
+}
+
+// Curve aggregates the traces of several runs (all on networks of the same
+// size) into an informed-fraction curve sampled at `points` evenly spaced
+// times between 0 and the largest completion time observed.
+func Curve(results []*sim.Result, points int) ([]CurvePoint, error) {
+	if points < 2 {
+		points = 2
+	}
+	var maxTime float64
+	usable := 0
+	for _, r := range results {
+		if r == nil || len(r.Trace) == 0 || r.N == 0 {
+			continue
+		}
+		usable++
+		if last := r.Trace[len(r.Trace)-1].Time; last > maxTime {
+			maxTime = last
+		}
+	}
+	if usable == 0 {
+		return nil, ErrNoTraces
+	}
+	if maxTime == 0 {
+		maxTime = 1
+	}
+	curve := make([]CurvePoint, points)
+	for i := 0; i < points; i++ {
+		t := maxTime * float64(i) / float64(points-1)
+		sum, minF, maxF := 0.0, math.Inf(1), math.Inf(-1)
+		for _, r := range results {
+			if r == nil || len(r.Trace) == 0 || r.N == 0 {
+				continue
+			}
+			f := fractionAt(r, t)
+			sum += f
+			if f < minF {
+				minF = f
+			}
+			if f > maxF {
+				maxF = f
+			}
+		}
+		curve[i] = CurvePoint{
+			Time:         t,
+			MeanFraction: sum / float64(usable),
+			MinFraction:  minF,
+			MaxFraction:  maxF,
+		}
+	}
+	return curve, nil
+}
+
+// fractionAt returns the informed fraction of one run at time t, using the
+// run's trace (which records one point per newly informed vertex).
+func fractionAt(r *sim.Result, t float64) float64 {
+	// The trace is sorted by time; binary search for the last point <= t.
+	idx := sort.Search(len(r.Trace), func(i int) bool { return r.Trace[i].Time > t })
+	if idx == 0 {
+		return 0
+	}
+	return float64(r.Trace[idx-1].Informed) / float64(r.N)
+}
+
+// TimeToFraction returns, for each run, the earliest traced time at which the
+// informed fraction reached the target (runs that never reach it are
+// skipped), together with the number of runs that did reach it.
+func TimeToFraction(results []*sim.Result, fraction float64) (times []float64, reached int) {
+	for _, r := range results {
+		if r == nil || r.N == 0 {
+			continue
+		}
+		target := int(math.Ceil(fraction * float64(r.N)))
+		if target < 1 {
+			target = 1
+		}
+		if t, ok := r.TimeToReach(target); ok {
+			times = append(times, t)
+			reached++
+		}
+	}
+	return times, reached
+}
+
+// FractionQuantiles summarizes TimeToFraction into (median, q90). It returns
+// an error if no run reached the target fraction.
+func FractionQuantiles(results []*sim.Result, fraction float64) (median, q90 float64, err error) {
+	times, reached := TimeToFraction(results, fraction)
+	if reached == 0 {
+		return 0, 0, ErrNoTraces
+	}
+	return stats.Quantile(times, 0.5), stats.Quantile(times, 0.9), nil
+}
+
+// ExponentialGrowthRate fits the early phase of a single run's trace
+// (informed counts between 2 and n/2) to I(t) ≈ e^{λt} and returns λ. The
+// asynchronous push-pull on a clique has λ ≈ 2 (push + pull both double the
+// informed set); bottleneck networks have much smaller rates.
+func ExponentialGrowthRate(r *sim.Result) (float64, error) {
+	if r == nil || len(r.Trace) < 3 || r.N < 4 {
+		return 0, ErrNoTraces
+	}
+	var ts, logs []float64
+	for _, p := range r.Trace {
+		if p.Informed >= 2 && p.Informed <= r.N/2 && p.Time > 0 {
+			ts = append(ts, p.Time)
+			logs = append(logs, math.Log(float64(p.Informed)))
+		}
+	}
+	if len(ts) < 2 {
+		return 0, ErrNoTraces
+	}
+	_, slope, err := stats.LinearFit(ts, logs)
+	return slope, err
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/xrand"
+)
+
+func runTraced(t *testing.T, n, reps int, seed uint64) []*sim.Result {
+	t.Helper()
+	rng := xrand.New(seed)
+	net := dynamic.NewStatic(gen.Clique(n))
+	var results []*sim.Result
+	for i := 0; i < reps; i++ {
+		res, err := sim.RunAsync(net, sim.AsyncOptions{Start: 0, RecordTrace: true}, rng.Split(uint64(i)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+func TestCurveBasicShape(t *testing.T) {
+	results := runTraced(t, 100, 10, 1)
+	curve, err := Curve(results, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 20 {
+		t.Fatalf("curve has %d points, want 20", len(curve))
+	}
+	if curve[0].Time != 0 || curve[0].MeanFraction > 0.02 {
+		t.Fatalf("curve start wrong: %+v", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last.MeanFraction < 0.99 {
+		t.Fatalf("curve does not end fully informed: %+v", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].MeanFraction < curve[i-1].MeanFraction-1e-9 {
+			t.Fatal("mean fraction is not monotone in time")
+		}
+		if curve[i].MinFraction > curve[i].MeanFraction+1e-9 || curve[i].MaxFraction < curve[i].MeanFraction-1e-9 {
+			t.Fatal("envelope does not contain the mean")
+		}
+	}
+}
+
+func TestCurveErrorsWithoutTraces(t *testing.T) {
+	if _, err := Curve(nil, 10); err != ErrNoTraces {
+		t.Fatalf("error = %v, want ErrNoTraces", err)
+	}
+	if _, err := Curve([]*sim.Result{{N: 5}}, 10); err != ErrNoTraces {
+		t.Fatalf("error = %v, want ErrNoTraces", err)
+	}
+}
+
+func TestCurveMinimumPoints(t *testing.T) {
+	results := runTraced(t, 20, 2, 2)
+	curve, err := Curve(results, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("points should be clamped to 2, got %d", len(curve))
+	}
+}
+
+func TestTimeToFraction(t *testing.T) {
+	results := runTraced(t, 100, 8, 3)
+	times, reached := TimeToFraction(results, 0.5)
+	if reached != 8 || len(times) != 8 {
+		t.Fatalf("reached = %d, want 8", reached)
+	}
+	for _, tm := range times {
+		if tm <= 0 {
+			t.Fatal("time to half coverage should be positive")
+		}
+	}
+	// Full coverage takes longer than half coverage for every run.
+	full, _ := TimeToFraction(results, 1.0)
+	for i := range times {
+		if full[i] < times[i] {
+			t.Fatal("full coverage reached before half coverage")
+		}
+	}
+	// A fraction of 0 clamps to a single vertex (already informed at t=0).
+	zero, reachedZero := TimeToFraction(results, 0)
+	if reachedZero != 8 || zero[0] != 0 {
+		t.Fatal("zero fraction should be reached immediately")
+	}
+}
+
+func TestFractionQuantiles(t *testing.T) {
+	results := runTraced(t, 100, 8, 4)
+	median, q90, err := FractionQuantiles(results, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if median <= 0 || q90 < median {
+		t.Fatalf("quantiles wrong: median %v q90 %v", median, q90)
+	}
+	if _, _, err := FractionQuantiles(nil, 0.5); err != ErrNoTraces {
+		t.Fatal("expected ErrNoTraces")
+	}
+}
+
+func TestExponentialGrowthRateOnClique(t *testing.T) {
+	// On the clique the informed set grows at rate ≈ 2 (push + pull) during
+	// the early phase.
+	results := runTraced(t, 2000, 1, 5)
+	rate, err := ExponentialGrowthRate(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 1 || rate > 3.5 {
+		t.Fatalf("clique growth rate %v, want roughly 2", rate)
+	}
+}
+
+func TestExponentialGrowthRateOnPathIsSmall(t *testing.T) {
+	rng := xrand.New(6)
+	net := dynamic.NewStatic(gen.Path(200))
+	res, err := sim.RunAsync(net, sim.AsyncOptions{Start: 0, RecordTrace: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathRate, err := ExponentialGrowthRate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliqueResults := runTraced(t, 200, 1, 7)
+	cliqueRate, err := ExponentialGrowthRate(cliqueResults[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathRate >= cliqueRate {
+		t.Fatalf("path growth rate %v should be far below clique rate %v", pathRate, cliqueRate)
+	}
+}
+
+func TestExponentialGrowthRateErrors(t *testing.T) {
+	if _, err := ExponentialGrowthRate(nil); err != ErrNoTraces {
+		t.Fatal("nil result should error")
+	}
+	if _, err := ExponentialGrowthRate(&sim.Result{N: 2, Trace: []sim.TracePoint{{Time: 0, Informed: 1}, {Time: 1, Informed: 2}}}); err == nil {
+		t.Fatal("tiny result should error")
+	}
+}
+
+func TestFractionAtInterpolation(t *testing.T) {
+	r := &sim.Result{N: 4, Trace: []sim.TracePoint{
+		{Time: 0, Informed: 1}, {Time: 1, Informed: 2}, {Time: 2, Informed: 3}, {Time: 3, Informed: 4}}}
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{-0.5, 0}, {0, 0.25}, {0.5, 0.25}, {1, 0.5}, {2.7, 0.75}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := fractionAt(r, c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("fractionAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package bound
+
+import (
+	"dynamicrumor/internal/diligence"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/spectral"
+)
+
+// MeasureProfile computes a StepProfile for a concrete graph. For graphs with
+// at most 22 vertices it uses exact enumeration of conductance and diligence;
+// for larger graphs it uses the spectral sweep-cut conductance (an upper
+// bound on Φ, which makes the resulting Theorem 1.1 bound conservative in the
+// right direction is not guaranteed — treat large-graph profiles as
+// estimates) and the absolute diligence as a lower-bound stand-in for ρ.
+func MeasureProfile(g *graph.Graph) StepProfile {
+	p := StepProfile{
+		AbsRho:    diligence.Absolute(g),
+		Connected: g.M() > 0 && g.IsConnected(),
+	}
+	if !p.Connected {
+		return p
+	}
+	if phi, err := spectral.ExactConductance(g); err == nil {
+		p.Phi = phi
+	} else if est, err := spectral.EstimateConductance(g, 0); err == nil {
+		p.Phi = est.SweepConductance
+	}
+	if rho, err := diligence.Exact(g); err == nil {
+		p.Rho = rho
+	} else {
+		// ρ(G) >= ρ̄(G)·d̄(S) / d̄(S) relationships are not exact in general;
+		// the absolute diligence is the safe, always-computable stand-in the
+		// experiments use for large graphs, and it is exact for regular
+		// graphs up to the d̄ factor.
+		p.Rho = p.AbsRho * g.AverageDegree()
+		if p.Rho > 1 {
+			p.Rho = 1
+		}
+	}
+	return p
+}
+
+// NetworkProfiler builds a ProfileFunc that measures the profile of the graph
+// a dynamic network would expose at step t assuming a fixed informed set
+// (nil for oblivious networks). Results are cached per step. This is meant
+// for oblivious networks (Static, Sequence, Alternating, EdgeMarkovian ...);
+// adaptive constructions should use their analytic profiles instead.
+type NetworkProfiler struct {
+	graphAt func(t int) *graph.Graph
+	cache   map[int]StepProfile
+}
+
+// NewNetworkProfiler wraps a step-to-graph function.
+func NewNetworkProfiler(graphAt func(t int) *graph.Graph) *NetworkProfiler {
+	return &NetworkProfiler{graphAt: graphAt, cache: make(map[int]StepProfile)}
+}
+
+// Profile returns the (cached) measured profile of step t.
+func (np *NetworkProfiler) Profile(t int) StepProfile {
+	if p, ok := np.cache[t]; ok {
+		return p
+	}
+	p := MeasureProfile(np.graphAt(t))
+	np.cache[t] = p
+	return p
+}
+
+// Func returns the ProfileFunc form of the profiler.
+func (np *NetworkProfiler) Func() ProfileFunc {
+	return func(t int) StepProfile { return np.Profile(t) }
+}

@@ -1,0 +1,160 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// AbsGNRho is the absolutely ρ-diligent dynamic network of Theorem 1.5 and
+// Section 5.1.
+//
+// At every step the graph consists of a near-4-regular graph G(A_t, 4, Δ) on
+// the informed side (one special vertex of degree Δ) and a Δ-regular graph
+// G(B_t, Δ) on the uninformed side, joined by a single edge from the special
+// vertex to an arbitrary vertex of B_t (the "boundary" vertex). Δ is an even
+// number in {⌈1/ρ⌉, ⌈1/ρ⌉+1}. After each step the newly informed vertices
+// move from B to A and the graph is rebuilt while |B| stays above n/6.
+type AbsGNRho struct {
+	n     int
+	delta int
+	rng   *xrand.RNG
+
+	inB      []bool
+	current  *graph.Graph
+	boundary int // the B-side endpoint of the bridge in the current graph
+	special  int // the A-side degree-Δ endpoint of the bridge
+	prevStep int
+}
+
+var _ Network = (*AbsGNRho)(nil)
+
+// NewAbsGNRho builds the Theorem 1.5 network on n vertices with target
+// absolute diligence rho (10/n <= rho <= 1).
+func NewAbsGNRho(n int, rho float64, rng *xrand.RNG) (*AbsGNRho, error) {
+	if n < 36 {
+		return nil, fmt.Errorf("dynamic: AbsGNRho needs n >= 36, got %d", n)
+	}
+	if rho < 10/float64(n) || rho > 1 {
+		return nil, fmt.Errorf("dynamic: AbsGNRho needs rho in [10/n, 1], got %v", rho)
+	}
+	delta := int(math.Ceil(1 / rho))
+	if delta%2 != 0 {
+		delta++
+	}
+	if delta < 4 {
+		delta = 4
+	}
+	if delta >= n/6-1 {
+		return nil, fmt.Errorf("dynamic: AbsGNRho rho=%v gives Delta=%d too large for n=%d", rho, delta, n)
+	}
+	a := &AbsGNRho{n: n, delta: delta, rng: rng, prevStep: -1}
+	a.inB = make([]bool, n)
+	for v := n / 2; v < n; v++ {
+		a.inB[v] = true
+	}
+	if err := a.rebuild(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// N implements Network.
+func (a *AbsGNRho) N() int { return a.n }
+
+// Delta returns the even degree Δ ∈ {⌈1/ρ⌉, ⌈1/ρ⌉+1} used by the construction.
+func (a *AbsGNRho) Delta() int { return a.delta }
+
+// StartVertex returns a vertex of the A side at which the rumor should start.
+func (a *AbsGNRho) StartVertex() int { return 0 }
+
+// AbsoluteDiligenceValue returns the exact absolute diligence of every step's
+// graph, 1/(Δ+1) (the bridge edge joins degree Δ+1 vertices... see the paper:
+// ρ̄(G^(t)) = 1/(Δ+1)).
+func (a *AbsGNRho) AbsoluteDiligenceValue() float64 { return 1 / float64(a.delta+1) }
+
+// LowerBoundSpreadTime returns the Ω(n/ρ) ~ n·Δ/20 lower bound of Theorem 1.5
+// in the explicit form used by the proof (n0·Δ/4 with n0 = Θ(n)).
+func (a *AbsGNRho) LowerBoundSpreadTime() float64 {
+	return float64(a.n) * float64(a.delta) / 40
+}
+
+// GraphAt implements Network.
+func (a *AbsGNRho) GraphAt(t int, informed []bool) *graph.Graph {
+	if t <= 0 || informed == nil {
+		return a.current
+	}
+	if t == a.prevStep {
+		return a.current
+	}
+	a.prevStep = t
+	// B_{t+1} = B_t \ I_t.
+	newSize := 0
+	changed := false
+	for v := 0; v < a.n; v++ {
+		if a.inB[v] && informed[v] {
+			a.inB[v] = false
+			changed = true
+		}
+		if a.inB[v] {
+			newSize++
+		}
+	}
+	if !changed || newSize < a.n/6 || newSize <= a.delta+1 {
+		return a.current
+	}
+	if err := a.rebuild(); err != nil {
+		return a.current
+	}
+	return a.current
+}
+
+// rebuild constructs G(A,4,Δ) ∪ G(B,Δ) plus the single bridge edge.
+func (a *AbsGNRho) rebuild() error {
+	var sideA, sideB []int
+	for v := 0; v < a.n; v++ {
+		if a.inB[v] {
+			sideB = append(sideB, v)
+		} else {
+			sideA = append(sideA, v)
+		}
+	}
+	if len(sideA) < a.delta+2 || len(sideB) < a.delta+2 {
+		return fmt.Errorf("dynamic: AbsGNRho sides too small (|A|=%d |B|=%d, Δ=%d)",
+			len(sideA), len(sideB), a.delta)
+	}
+	// Near-regular graph on A: all degree 4 except one special vertex of
+	// degree Δ. Keep the special vertex stable (first vertex of A) so the
+	// bridge endpoint on the informed side is deterministic.
+	gA, err := gen.NearRegular(len(sideA), 4, a.delta, 0)
+	if err != nil {
+		return err
+	}
+	// Δ-regular graph on B.
+	gB, err := gen.CirculantRegular(len(sideB), a.delta)
+	if err != nil {
+		return err
+	}
+	b := graph.NewBuilder(a.n)
+	for _, e := range gA.Edges() {
+		b.AddEdge(sideA[e.U], sideA[e.V])
+	}
+	for _, e := range gB.Edges() {
+		b.AddEdge(sideB[e.U], sideB[e.V])
+	}
+	a.special = sideA[0]
+	a.boundary = sideB[0]
+	b.AddEdge(a.special, a.boundary)
+	a.current = b.Build()
+	return nil
+}
+
+// Boundary returns the current uninformed bridge endpoint; exposed for tests
+// and the Theorem 1.5 experiment.
+func (a *AbsGNRho) Boundary() int { return a.boundary }
+
+// Special returns the current degree-Δ bridge endpoint on the informed side.
+func (a *AbsGNRho) Special() int { return a.special }

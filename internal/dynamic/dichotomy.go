@@ -1,0 +1,189 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// DichotomyG1 is the dynamic network G1 of Figure 1(a) and Theorem 1.7(i).
+//
+// Vertices are 0..n (n+1 in total). G^(0) is the n-vertex clique on 0..n-1
+// with the pendant edge {0, n}; the rumor starts at the pendant vertex n.
+// For every t >= 1, G^(t) consists of two equally-sized cliques joined by a
+// single bridge edge: the "left" clique contains vertex 0 and the "right"
+// clique contains vertex n.
+//
+// On this network the synchronous push-pull algorithm spreads in Θ(log n)
+// rounds while the asynchronous algorithm needs Ω(n) time.
+type DichotomyG1 struct {
+	n     int // clique size; the network has n+1 vertices
+	g0    *graph.Graph
+	later *graph.Graph
+}
+
+var _ Network = (*DichotomyG1)(nil)
+
+// NewDichotomyG1 builds G1 with an n-vertex initial clique (n >= 4).
+func NewDichotomyG1(n int) (*DichotomyG1, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("dynamic: DichotomyG1 needs n >= 4, got %d", n)
+	}
+	d := &DichotomyG1{n: n}
+	d.g0 = gen.CliqueWithPendant(n)
+	// G^(1): split the n+1 vertices into a left half containing 0 and a right
+	// half containing n, each a clique, bridged by {0, n}.
+	total := n + 1
+	var left, right []int
+	left = append(left, 0)
+	right = append(right, n)
+	for v := 1; v < n; v++ {
+		if len(left) < total/2 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	d.later = gen.TwoCliquesBridged(total, left, right, 0, n)
+	return d, nil
+}
+
+// N implements Network (n+1 vertices).
+func (d *DichotomyG1) N() int { return d.n + 1 }
+
+// StartVertex returns the pendant vertex n, where the rumor is injected.
+func (d *DichotomyG1) StartVertex() int { return d.n }
+
+// GraphAt implements Network.
+func (d *DichotomyG1) GraphAt(t int, _ []bool) *graph.Graph {
+	if t <= 0 {
+		return d.g0
+	}
+	return d.later
+}
+
+// DichotomyG2 is the dynamic star G2 of Figure 1(b) and Theorem 1.7(ii)/(iii).
+//
+// Vertices are 0..n (n+1 in total). G^(0) is a star whose center is vertex 0;
+// the rumor starts at the leaf vertex 1. At every step t >= 1 the center is
+// replaced by an uninformed vertex; if every vertex is informed the center is
+// a uniformly random vertex.
+//
+// On this network the synchronous push-pull algorithm needs exactly n rounds
+// while the asynchronous algorithm finishes in Θ(log n) time.
+type DichotomyG2 struct {
+	n       int // number of leaves; the network has n+1 vertices
+	rng     *xrand.RNG
+	current *graph.Graph
+	center  int
+	prev    int
+}
+
+var _ Network = (*DichotomyG2)(nil)
+
+// NewDichotomyG2 builds the dynamic star on n+1 vertices (n >= 2).
+func NewDichotomyG2(n int, rng *xrand.RNG) (*DichotomyG2, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dynamic: DichotomyG2 needs n >= 2, got %d", n)
+	}
+	d := &DichotomyG2{n: n, rng: rng, center: 0, prev: -1}
+	d.current = gen.Star(n+1, 0)
+	return d, nil
+}
+
+// N implements Network (n+1 vertices).
+func (d *DichotomyG2) N() int { return d.n + 1 }
+
+// StartVertex returns leaf vertex 1, where the rumor is injected.
+func (d *DichotomyG2) StartVertex() int { return 1 }
+
+// Center returns the current center vertex (exposed for tests).
+func (d *DichotomyG2) Center() int { return d.center }
+
+// GraphAt implements Network: at each new step the center moves to an
+// uninformed vertex (lowest-numbered for determinism given the informed set),
+// or to a random vertex if everyone is informed.
+func (d *DichotomyG2) GraphAt(t int, informed []bool) *graph.Graph {
+	if t <= 0 || informed == nil {
+		return d.current
+	}
+	if t == d.prev {
+		return d.current
+	}
+	d.prev = t
+	next := -1
+	for v := 0; v <= d.n; v++ {
+		if !informed[v] {
+			next = v
+			break
+		}
+	}
+	if next == -1 {
+		next = d.rng.Intn(d.n + 1)
+	}
+	if next != d.center {
+		d.center = next
+		d.current = gen.Star(d.n+1, d.center)
+	}
+	return d.current
+}
+
+// AlternatingRegularComplete is the related-work example from Section 1.2:
+// a dynamic network alternating between a sparse d-regular graph and the
+// complete graph. On it the Giakkoupis–Sauerwald–Stauffer bound carries an
+// M(G) = max_u Δ_u/δ_u = Θ(n) factor while the Theorem 1.1 bound does not.
+type AlternatingRegularComplete struct {
+	alt *Alternating
+}
+
+var _ Network = (*AlternatingRegularComplete)(nil)
+
+// NewAlternatingRegularComplete builds the alternating network on n vertices
+// with the sparse step being d-regular (d >= 2, n·d even).
+func NewAlternatingRegularComplete(n, d int, rng *xrand.RNG) (*AlternatingRegularComplete, error) {
+	if n < 4 || d < 2 {
+		return nil, fmt.Errorf("dynamic: AlternatingRegularComplete needs n >= 4 and d >= 2")
+	}
+	sparse, err := gen.RandomRegular(n, d, rng)
+	if err != nil || !sparse.IsConnected() {
+		sparse, err = gen.CirculantRegular(n, d)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &AlternatingRegularComplete{
+		alt: NewAlternating([]*graph.Graph{sparse, gen.Clique(n)}),
+	}, nil
+}
+
+// N implements Network.
+func (a *AlternatingRegularComplete) N() int { return a.alt.N() }
+
+// GraphAt implements Network.
+func (a *AlternatingRegularComplete) GraphAt(t int, informed []bool) *graph.Graph {
+	return a.alt.GraphAt(t, informed)
+}
+
+// MaxDegreeRatio returns M(G) = max_u Δ_u/δ_u over the two alternating
+// graphs, the factor appearing in the Giakkoupis et al. bound.
+func (a *AlternatingRegularComplete) MaxDegreeRatio() float64 {
+	sparse := a.alt.GraphAt(0, nil)
+	complete := a.alt.GraphAt(1, nil)
+	worst := 1.0
+	for v := 0; v < sparse.N(); v++ {
+		min, max := sparse.Degree(v), sparse.Degree(v)
+		if d := complete.Degree(v); d < min {
+			min = d
+		} else if d > max {
+			max = d
+		}
+		if min > 0 {
+			if r := float64(max) / float64(min); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}

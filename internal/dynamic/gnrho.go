@@ -1,0 +1,143 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// GNRho is the ρ-diligent dynamic evolving network G(n, ρ) of Theorem 1.2.
+//
+// At every step it exposes H_{k,Δ}(A_t, B_t) with Δ = ⌈1/ρ⌉ and
+// k = Θ(log n / log log n). Initially A_0 is an arbitrary quarter of the
+// vertices and B_0 the remaining three quarters; the rumor must start inside
+// A_0. After each step the adversary removes the newly informed vertices from
+// the B side (B_{t+1} = B_t \ I_{t+1}, A_{t+1} = V \ B_{t+1}) and rebuilds the
+// graph as long as |B_{t+1}| >= n/4 and B actually shrank; otherwise the
+// previous graph is kept, exactly as in Section 4 of the paper.
+type GNRho struct {
+	n     int
+	k     int
+	delta int
+	rng   *xrand.RNG
+
+	inB      []bool // current B side
+	sizeB    int
+	current  *gen.Hkd
+	prevStep int
+}
+
+var _ Network = (*GNRho)(nil)
+
+// NewGNRho builds the Theorem 1.2 network on n vertices with target diligence
+// rho in [1/√n, 1]. k <= 0 selects the paper's default Θ(log n / log log n).
+func NewGNRho(n int, rho float64, k int, rng *xrand.RNG) (*GNRho, error) {
+	if n < 32 {
+		return nil, fmt.Errorf("dynamic: GNRho needs n >= 32, got %d", n)
+	}
+	if rho <= 0 || rho > 1 {
+		return nil, fmt.Errorf("dynamic: GNRho needs rho in (0, 1], got %v", rho)
+	}
+	delta := int(math.Ceil(1 / rho))
+	if delta > n/8 {
+		return nil, fmt.Errorf("dynamic: GNRho rho=%v gives Delta=%d > n/8=%d (need rho >= ~1/sqrt(n))",
+			rho, delta, n/8)
+	}
+	if k <= 0 {
+		k = gen.DefaultK(n)
+	}
+	if k*delta+1 > (3*n)/4 {
+		return nil, fmt.Errorf("dynamic: GNRho k=%d Delta=%d does not fit in |B| = 3n/4", k, delta)
+	}
+	g := &GNRho{n: n, k: k, delta: delta, rng: rng, prevStep: -1}
+	g.inB = make([]bool, n)
+	for v := n / 4; v < n; v++ {
+		g.inB[v] = true
+	}
+	g.sizeB = n - n/4
+	h, err := g.build()
+	if err != nil {
+		return nil, err
+	}
+	g.current = h
+	return g, nil
+}
+
+// N implements Network.
+func (g *GNRho) N() int { return g.n }
+
+// Delta returns ⌈1/ρ⌉, the cluster size of the underlying H_{k,Δ}.
+func (g *GNRho) Delta() int { return g.delta }
+
+// K returns the number of bipartite layers.
+func (g *GNRho) K() int { return g.k }
+
+// StartVertex returns a vertex of A_0 at which the rumor should be injected
+// (the paper requires the source to lie in A_0).
+func (g *GNRho) StartVertex() int { return 0 }
+
+// ConductanceScale returns the analytic Φ(G^(t)) = Θ(Δ²/(kΔ²+n)) scale of
+// Observation 4.1; it is the same for every step.
+func (g *GNRho) ConductanceScale() float64 { return g.current.ConductanceScale() }
+
+// DiligenceScale returns the analytic ρ(G^(t)) = Θ(1/Δ) scale.
+func (g *GNRho) DiligenceScale() float64 { return 1 / float64(g.delta) }
+
+// LowerBoundSpreadTime returns the Ω(n/(ρ·k)) = Ω(nρ... ) lower bound of
+// Theorem 1.2 in its explicit form n / (4·k·Δ).
+func (g *GNRho) LowerBoundSpreadTime() float64 {
+	return float64(g.n) / float64(4*g.k*g.delta)
+}
+
+// GraphAt implements Network. It rebuilds H_{k,Δ}(A_t, B_t) whenever the
+// adversary rule fires.
+func (g *GNRho) GraphAt(t int, informed []bool) *graph.Graph {
+	if t <= 0 || informed == nil {
+		return g.current.Graph
+	}
+	if t == g.prevStep {
+		return g.current.Graph
+	}
+	g.prevStep = t
+	// B_{t} = B_{t-1} \ I_t.
+	newSize := 0
+	changed := false
+	for v := 0; v < g.n; v++ {
+		if g.inB[v] && informed[v] {
+			g.inB[v] = false
+			changed = true
+		}
+		if g.inB[v] {
+			newSize++
+		}
+	}
+	if !changed || newSize < g.n/4 || newSize < g.k*g.delta+1 {
+		// Keep the previous graph (|B| did not shrink, or shrank too far).
+		g.sizeB = newSize
+		return g.current.Graph
+	}
+	g.sizeB = newSize
+	h, err := g.build()
+	if err != nil {
+		// Construction can only fail if B became too small, which the guard
+		// above prevents; keep the previous graph as a safe fallback.
+		return g.current.Graph
+	}
+	g.current = h
+	return g.current.Graph
+}
+
+func (g *GNRho) build() (*gen.Hkd, error) {
+	var a, b []int
+	for v := 0; v < g.n; v++ {
+		if g.inB[v] {
+			b = append(b, v)
+		} else {
+			a = append(a, v)
+		}
+	}
+	return gen.NewHkd(gen.HkdParams{K: g.k, Delta: g.delta, A: a, B: b}, g.rng)
+}

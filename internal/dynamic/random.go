@@ -1,0 +1,183 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// EdgeMarkovian is the edge-Markovian evolving graph of Clementi et al.
+// (Section 1.2, related work): at every step each absent edge appears with
+// probability p and each present edge disappears with probability q,
+// independently. It serves as a randomized-evolution baseline in the
+// experiments, in contrast to the paper's adversarial constructions.
+type EdgeMarkovian struct {
+	n       int
+	p, q    float64
+	rng     *xrand.RNG
+	present map[graph.Edge]struct{}
+	current *graph.Graph
+	prev    int
+}
+
+var _ Network = (*EdgeMarkovian)(nil)
+
+// NewEdgeMarkovian creates an edge-Markovian network on n vertices starting
+// from the given initial graph (nil starts from the empty graph).
+func NewEdgeMarkovian(n int, p, q float64, initial *graph.Graph, rng *xrand.RNG) (*EdgeMarkovian, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dynamic: EdgeMarkovian needs n >= 2, got %d", n)
+	}
+	if p < 0 || p > 1 || q < 0 || q > 1 {
+		return nil, fmt.Errorf("dynamic: EdgeMarkovian needs p, q in [0,1], got p=%v q=%v", p, q)
+	}
+	em := &EdgeMarkovian{n: n, p: p, q: q, rng: rng, present: make(map[graph.Edge]struct{}), prev: 0}
+	if initial != nil {
+		if initial.N() != n {
+			return nil, fmt.Errorf("dynamic: EdgeMarkovian initial graph has %d vertices, want %d", initial.N(), n)
+		}
+		for _, e := range initial.Edges() {
+			em.present[e] = struct{}{}
+		}
+	}
+	em.current = em.materialize()
+	return em, nil
+}
+
+// N implements Network.
+func (em *EdgeMarkovian) N() int { return em.n }
+
+// GraphAt implements Network. Each call with a new step value advances the
+// Markov chain by one transition.
+func (em *EdgeMarkovian) GraphAt(t int, _ []bool) *graph.Graph {
+	if t <= em.prev {
+		return em.current
+	}
+	for step := em.prev; step < t; step++ {
+		em.transition()
+	}
+	em.prev = t
+	em.current = em.materialize()
+	return em.current
+}
+
+func (em *EdgeMarkovian) transition() {
+	next := make(map[graph.Edge]struct{}, len(em.present))
+	for u := 0; u < em.n; u++ {
+		for v := u + 1; v < em.n; v++ {
+			e := graph.Edge{U: u, V: v}
+			if _, on := em.present[e]; on {
+				if !em.rng.Bernoulli(em.q) {
+					next[e] = struct{}{}
+				}
+			} else if em.rng.Bernoulli(em.p) {
+				next[e] = struct{}{}
+			}
+		}
+	}
+	em.present = next
+}
+
+func (em *EdgeMarkovian) materialize() *graph.Graph {
+	edges := make([]graph.Edge, 0, len(em.present))
+	for e := range em.present {
+		edges = append(edges, e)
+	}
+	return graph.FromEdges(em.n, edges)
+}
+
+// MobileAgents models the related-work scenario of agents performing
+// independent random walks on a 2-dimensional torus grid: two agents are
+// adjacent whenever they occupy the same or a 4-neighboring cell. The rumor
+// travels between adjacent agents exactly like in any other dynamic network.
+type MobileAgents struct {
+	agents  int
+	side    int
+	rng     *xrand.RNG
+	posR    []int
+	posC    []int
+	current *graph.Graph
+	prev    int
+}
+
+var _ Network = (*MobileAgents)(nil)
+
+// NewMobileAgents places `agents` agents uniformly at random on a side x side
+// torus grid.
+func NewMobileAgents(agents, side int, rng *xrand.RNG) (*MobileAgents, error) {
+	if agents < 2 || side < 2 {
+		return nil, fmt.Errorf("dynamic: MobileAgents needs agents >= 2 and side >= 2")
+	}
+	m := &MobileAgents{agents: agents, side: side, rng: rng, prev: 0}
+	m.posR = make([]int, agents)
+	m.posC = make([]int, agents)
+	for i := 0; i < agents; i++ {
+		m.posR[i] = rng.Intn(side)
+		m.posC[i] = rng.Intn(side)
+	}
+	m.current = m.materialize()
+	return m, nil
+}
+
+// N implements Network (the vertices are the agents).
+func (m *MobileAgents) N() int { return m.agents }
+
+// GraphAt implements Network: each new step moves every agent one random-walk
+// step (stay or move to one of the four torus neighbors) and recomputes the
+// proximity graph.
+func (m *MobileAgents) GraphAt(t int, _ []bool) *graph.Graph {
+	if t <= m.prev {
+		return m.current
+	}
+	for step := m.prev; step < t; step++ {
+		m.walk()
+	}
+	m.prev = t
+	m.current = m.materialize()
+	return m.current
+}
+
+func (m *MobileAgents) walk() {
+	for i := 0; i < m.agents; i++ {
+		switch m.rng.Intn(5) {
+		case 0: // stay
+		case 1:
+			m.posR[i] = (m.posR[i] + 1) % m.side
+		case 2:
+			m.posR[i] = (m.posR[i] - 1 + m.side) % m.side
+		case 3:
+			m.posC[i] = (m.posC[i] + 1) % m.side
+		case 4:
+			m.posC[i] = (m.posC[i] - 1 + m.side) % m.side
+		}
+	}
+}
+
+func (m *MobileAgents) materialize() *graph.Graph {
+	// Bucket agents by cell, then connect agents in the same or adjacent cells.
+	cell := make(map[int][]int, m.agents)
+	key := func(r, c int) int { return r*m.side + c }
+	for i := 0; i < m.agents; i++ {
+		k := key(m.posR[i], m.posC[i])
+		cell[k] = append(cell[k], i)
+	}
+	b := graph.NewBuilder(m.agents)
+	offsets := [][2]int{{0, 0}, {0, 1}, {1, 0}, {0, -1}, {-1, 0}}
+	for k, agents := range cell {
+		r, c := k/m.side, k%m.side
+		for _, off := range offsets {
+			nr := (r + off[0] + m.side) % m.side
+			nc := (c + off[1] + m.side) % m.side
+			neighbors := cell[key(nr, nc)]
+			for _, a := range agents {
+				for _, b2 := range neighbors {
+					if a != b2 {
+						b.AddEdge(a, b2)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}

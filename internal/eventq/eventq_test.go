@@ -1,0 +1,183 @@
+package eventq
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dynamicrumor/internal/xrand"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatal("zero-value queue not empty")
+	}
+	if _, _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue returned ok")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	if q.Contains(3) {
+		t.Fatal("empty queue contains 3")
+	}
+	if q.Remove(3) {
+		t.Fatal("Remove on empty queue returned true")
+	}
+}
+
+func TestPushPopOrdered(t *testing.T) {
+	q := New(8)
+	times := []float64{5, 1, 3, 2, 4}
+	for i, tm := range times {
+		q.Push(i, tm)
+	}
+	prev := math.Inf(-1)
+	for q.Len() > 0 {
+		_, tm, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed on non-empty queue")
+		}
+		if tm < prev {
+			t.Fatalf("Pop out of order: %v after %v", tm, prev)
+		}
+		prev = tm
+	}
+}
+
+func TestPushUpdatesExisting(t *testing.T) {
+	q := New(4)
+	q.Push(1, 10)
+	q.Push(2, 5)
+	q.Push(1, 1) // decrease key
+	id, tm, _ := q.Pop()
+	if id != 1 || tm != 1 {
+		t.Fatalf("Pop = (%d,%v), want (1,1)", id, tm)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestPushIncreaseKey(t *testing.T) {
+	q := New(4)
+	q.Push(1, 1)
+	q.Push(2, 5)
+	q.Push(1, 10) // increase key
+	id, tm, _ := q.Pop()
+	if id != 2 || tm != 5 {
+		t.Fatalf("Pop = (%d,%v), want (2,5)", id, tm)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := New(4)
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Push(3, 3)
+	if !q.Remove(2) {
+		t.Fatal("Remove(2) returned false")
+	}
+	if q.Contains(2) {
+		t.Fatal("queue still contains 2 after Remove")
+	}
+	var got []int
+	for q.Len() > 0 {
+		id, _, _ := q.Pop()
+		got = append(got, id)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("remaining order = %v, want [1 3]", got)
+	}
+}
+
+func TestTime(t *testing.T) {
+	q := New(2)
+	q.Push(7, 3.5)
+	if tm, ok := q.Time(7); !ok || tm != 3.5 {
+		t.Fatalf("Time(7) = (%v,%v)", tm, ok)
+	}
+	if _, ok := q.Time(8); ok {
+		t.Fatal("Time(8) found a missing id")
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	rng := xrand.New(99)
+	q := New(128)
+	inserted := map[int]float64{}
+	for op := 0; op < 5000; op++ {
+		switch rng.Intn(3) {
+		case 0: // push
+			id := rng.Intn(200)
+			tm := rng.Float64() * 100
+			q.Push(id, tm)
+			inserted[id] = tm
+		case 1: // remove
+			id := rng.Intn(200)
+			_, had := inserted[id]
+			got := q.Remove(id)
+			if got != had {
+				t.Fatalf("Remove(%d) = %v, want %v", id, got, had)
+			}
+			delete(inserted, id)
+		case 2: // pop
+			if len(inserted) == 0 {
+				continue
+			}
+			id, tm, ok := q.Pop()
+			if !ok {
+				t.Fatal("Pop failed while map non-empty")
+			}
+			// Must be the minimum over the tracked map.
+			minID, minT := -1, math.Inf(1)
+			for k, v := range inserted {
+				if v < minT || (v == minT && k == id) {
+					minID, minT = k, v
+				}
+			}
+			if tm != minT {
+				t.Fatalf("Pop time %v, want min %v (id %d vs %d)", tm, minT, id, minID)
+			}
+			delete(inserted, id)
+		}
+		if q.Len() != len(inserted) {
+			t.Fatalf("length mismatch: queue %d, map %d", q.Len(), len(inserted))
+		}
+	}
+}
+
+func TestPopSortsArbitraryInput(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		times := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				times = append(times, x)
+			}
+		}
+		q := New(len(times))
+		for i, tm := range times {
+			q.Push(i, tm)
+		}
+		var popped []float64
+		for q.Len() > 0 {
+			_, tm, _ := q.Pop()
+			popped = append(popped, tm)
+		}
+		if len(popped) != len(times) {
+			return false
+		}
+		want := append([]float64(nil), times...)
+		sort.Float64s(want)
+		for i := range want {
+			if popped[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

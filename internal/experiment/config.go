@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"dynamicrumor/internal/xrand"
+)
+
+// Config controls the cost/fidelity trade-off of every experiment.
+type Config struct {
+	// Seed makes every experiment deterministic.
+	Seed uint64
+	// Reps is the number of Monte-Carlo repetitions per configuration
+	// (0 means the experiment's default).
+	Reps int
+	// Quick selects reduced problem sizes, suitable for unit tests and CI.
+	Quick bool
+}
+
+// DefaultConfig returns the configuration used by cmd/experiments for the
+// full reproduction run.
+func DefaultConfig() Config {
+	return Config{Seed: 20200424, Reps: 0} // the seed is the paper's date
+}
+
+// QuickConfig returns a reduced configuration for tests.
+func QuickConfig() Config {
+	return Config{Seed: 7, Reps: 6, Quick: true}
+}
+
+// reps returns the repetition count, with a default.
+func (c Config) reps(def int) int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	return def
+}
+
+// rng derives a deterministic generator for a named experiment.
+func (c Config) rng(label uint64) *xrand.RNG {
+	return xrand.New(c.Seed).Split(label)
+}
+
+// Runner is the signature shared by all experiments.
+type Runner func(Config) (*Table, error)
+
+// registry maps experiment IDs to runners; populated in registry.go.
+var registry = map[string]registration{}
+
+type registration struct {
+	title  string
+	runner Runner
+}
+
+// register adds an experiment to the registry (called from init-free setup in
+// registry.go via the package-level variable initializer).
+func register(id, title string, r Runner) struct{} {
+	registry[id] = registration{title: title, runner: r}
+	return struct{}{}
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware ordering: E1, E2, ..., E10, E11.
+		return idOrder(out[i]) < idOrder(out[j])
+	})
+	return out
+}
+
+func idOrder(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// Title returns the registered title of an experiment.
+func Title(id string) (string, bool) {
+	r, ok := registry[id]
+	return r.title, ok
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q", id)
+	}
+	return r.runner(cfg)
+}
+
+// RunAll executes every registered experiment in ID order.
+func RunAll(cfg Config) ([]*Table, error) {
+	var tables []*Table
+	for _, id := range IDs() {
+		t, err := Run(id, cfg)
+		if err != nil {
+			return tables, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

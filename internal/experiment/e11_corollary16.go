@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dynamicrumor/internal/bound"
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/xrand"
+)
+
+// RunE11 reproduces Corollary 1.6: the spread time is bounded by
+// min{T(G,c), T_abs(G)}, and each of the two bounds is the better one on a
+// different family — T(G,c) on the dynamic star (high conductance and
+// diligence), T_abs(G) on the absolutely ρ-diligent bottleneck network of
+// Section 5.1 (tiny conductance).
+func RunE11(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "Corollary 1.6: combined bound min{T(G,c), T_abs} and which side wins where",
+		Columns: []string{"family", "n", "async mean", "T(G,1)", "T_abs",
+			"min bound", "winner"},
+	}
+	n := 120
+	// The dynamic star needs a larger n for T(G,c) = C·log n to drop below
+	// T_abs = 2n, because the Theorem 1.1 proof constant C ≈ 227 is large.
+	starN := 4000
+	reps := cfg.reps(8)
+	if cfg.Quick {
+		n = 60
+		starN = 1600
+		reps = cfg.reps(4)
+	}
+	passed := true
+
+	// Family 1: dynamic star — Φ = ρ = ρ̄ = 1, so T(G,c) = Θ(log n) beats
+	// T_abs = 2n once n is large enough.
+	rng := cfg.rng(1100)
+	starFactory := func(r *xrand.RNG) (dynamic.Network, int, error) {
+		net, err := dynamic.NewDichotomyG2(starN, r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	}
+	starTimes, err := measureAsync(starFactory, reps, rng.Split(1), 0)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic star: %w", err)
+	}
+	starMean, _ := summary(starTimes)
+	starProfile := bound.ConstantProfile(bound.StepProfile{Phi: 1, Rho: 1, AbsRho: 1, Connected: true})
+	starT11, err := bound.Theorem11(starProfile, starN+1, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	starTabs, err := bound.Theorem13(starProfile, starN+1, 0)
+	if err != nil {
+		return nil, err
+	}
+	starMin, err := bound.Corollary16(starProfile, starN+1, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	starWinner := "T(G,c)"
+	if starTabs < starT11 {
+		starWinner = "T_abs"
+	}
+	t.AddRow("dynamic-star", starN+1, starMean, starT11, starTabs, starMin, starWinner)
+	if starMin != minInt(starT11, starTabs) {
+		passed = false
+		t.AddNote("VIOLATION: Corollary16 did not return the minimum on the dynamic star")
+	}
+	if starMean > float64(starMin) {
+		passed = false
+		t.AddNote("VIOLATION: dynamic star measured %.1f exceeds the combined bound %d", starMean, starMin)
+	}
+
+	// Family 2: the Section 5.1 bottleneck network — Φ = Θ(1/n) makes T(G,c)
+	// quadratic-ish, while T_abs = 2n(Δ+1) is linear in n for constant ρ.
+	rho := 0.2
+	rng2 := cfg.rng(1101)
+	probe, err := dynamic.NewAbsGNRho(n, rho, rng2.Split(1))
+	if err != nil {
+		return nil, fmt.Errorf("AbsGNRho: %w", err)
+	}
+	bottleneckFactory := func(r *xrand.RNG) (dynamic.Network, int, error) {
+		net, err := dynamic.NewAbsGNRho(n, rho, r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	}
+	botTimes, err := measureAsync(bottleneckFactory, reps, rng2.Split(2), 0)
+	if err != nil {
+		return nil, fmt.Errorf("AbsGNRho runs: %w", err)
+	}
+	botMean, _ := summary(botTimes)
+	// Analytic per-step profile of the Section 5.1 graph: the bottleneck cut
+	// is the single bridge edge over the smaller side's volume Θ(n), and the
+	// bridge joins two degree-(Δ+1) vertices in a graph of average degree
+	// Θ(1), giving ρ = Θ(1/Δ).
+	delta := float64(probe.Delta())
+	botProfile := bound.ConstantProfile(bound.StepProfile{
+		Phi:       1 / (4 * float64(n)),
+		Rho:       4 / (delta + 1),
+		AbsRho:    probe.AbsoluteDiligenceValue(),
+		Connected: true,
+	})
+	botT11, err := bound.Theorem11(botProfile, n, 1, 64*n*n*int(delta))
+	if err != nil {
+		return nil, err
+	}
+	botTabs, err := bound.Theorem13(botProfile, n, 0)
+	if err != nil {
+		return nil, err
+	}
+	botMin, err := bound.Corollary16(botProfile, n, 1, 64*n*n*int(delta))
+	if err != nil {
+		return nil, err
+	}
+	botWinner := "T(G,c)"
+	if botTabs < botT11 {
+		botWinner = "T_abs"
+	}
+	t.AddRow("abs-bottleneck", n, botMean, botT11, botTabs, botMin, botWinner)
+	if botMin != minInt(botT11, botTabs) {
+		passed = false
+		t.AddNote("VIOLATION: Corollary16 did not return the minimum on the bottleneck network")
+	}
+	if botMean > float64(botMin) {
+		passed = false
+		t.AddNote("VIOLATION: bottleneck measured %.1f exceeds the combined bound %d", botMean, botMin)
+	}
+
+	// The two winners must differ, demonstrating why the corollary takes the
+	// minimum of the two bounds.
+	if starWinner == botWinner {
+		passed = false
+		t.AddNote("VIOLATION: the same bound won on both families; expected T(G,c) on the star and T_abs on the bottleneck")
+	} else {
+		t.AddNote("T(G,c) wins on the dynamic star, T_abs wins on the bottleneck network — each side of Corollary 1.6 is useful")
+	}
+	t.Passed = passed
+	return t, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

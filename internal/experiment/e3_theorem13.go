@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dynamicrumor/internal/bound"
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/xrand"
+)
+
+// RunE3 reproduces Theorem 1.3 and Remark 1.4: the absolute-diligence bound
+// T_abs(G) holds on the hardest connected dynamic networks, and with
+// ρ̄ = Θ(1/n) the measured spread time grows quadratically in n while staying
+// below the universal O(n²) bound.
+func RunE3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "Theorem 1.3 / Remark 1.4: absolute-diligence bound T_abs and the O(n²) worst case",
+		Columns: []string{"n", "Delta", "async mean", "T_abs", "2n(n-1)",
+			"meas/T_abs", "meas/n^2"},
+	}
+	sizes := []int{60, 90, 120, 180}
+	reps := cfg.reps(8)
+	if cfg.Quick {
+		sizes = []int{48, 96}
+		reps = cfg.reps(4)
+	}
+
+	passed := true
+	var ns, means []float64
+	for i, n := range sizes {
+		rng := cfg.rng(uint64(300 + i))
+		rho := 10.0 / float64(n) // the hardest admissible absolute diligence
+		probe, err := dynamic.NewAbsGNRho(n, rho, rng.Split(1))
+		if err != nil {
+			return nil, fmt.Errorf("AbsGNRho(n=%d): %w", n, err)
+		}
+		factory := func(r *xrand.RNG) (dynamic.Network, int, error) {
+			net, err := dynamic.NewAbsGNRho(n, rho, r)
+			if err != nil {
+				return nil, 0, err
+			}
+			return net, net.StartVertex(), nil
+		}
+		times, err := measureAsync(factory, reps, rng.Split(2), 0)
+		if err != nil {
+			return nil, fmt.Errorf("AbsGNRho(n=%d): %w", n, err)
+		}
+		mean, _ := summary(times)
+
+		profile := bound.ConstantProfile(bound.StepProfile{
+			AbsRho:    probe.AbsoluteDiligenceValue(),
+			Connected: true,
+		})
+		tabs, err := bound.Theorem13(profile, n, 0)
+		if err != nil {
+			return nil, fmt.Errorf("T_abs(n=%d): %w", n, err)
+		}
+		worst := bound.Remark14WorstCase(n)
+		t.AddRow(n, probe.Delta(), mean, tabs, worst,
+			ratio(mean, float64(tabs)), ratio(mean, float64(n*n)))
+		ns = append(ns, float64(n))
+		means = append(means, mean)
+		if mean > float64(tabs) {
+			passed = false
+			t.AddNote("VIOLATION: n=%d measured %.1f exceeds T_abs=%d", n, mean, tabs)
+		}
+		if mean > worst {
+			passed = false
+			t.AddNote("VIOLATION: n=%d measured %.1f exceeds the Remark 1.4 bound %.0f", n, mean, worst)
+		}
+	}
+	alpha, err := stats.GrowthExponent(ns, means)
+	if err == nil {
+		t.AddNote("measured spread time grows like n^%.2f (Remark 1.4 worst case predicts exponent 2)", alpha)
+		// The exponent fit needs the full size sweep to be meaningful; at
+		// quick scale (two nearby sizes, few repetitions) it is reported but
+		// not gated.
+		if !cfg.Quick && (alpha < 1.4 || alpha > 2.6) {
+			passed = false
+			t.AddNote("VIOLATION: growth exponent %.2f outside [1.4, 2.6]", alpha)
+		}
+	}
+	if passed {
+		t.AddNote("measured spread <= T_abs <= 2n(n-1) on every size, with near-quadratic growth")
+	}
+	t.Passed = passed
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dynamicrumor/internal/bound"
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/xrand"
+)
+
+// RunE4 reproduces Theorem 1.5: on the absolutely ρ-diligent dynamic network
+// the asynchronous spread time is Θ(n/ρ) — it sits between the Ω(n·Δ/40)
+// lower bound of the proof and the T_abs = 2n(Δ+1) upper bound of
+// Theorem 1.3, for every ρ in the sweep.
+func RunE4(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "Theorem 1.5: absolutely ρ-diligent network with spread time Θ(n/ρ)",
+		Columns: []string{"n", "rho", "Delta", "async mean", "lower nΔ/40",
+			"T_abs=2n(Δ+1)", "meas/(nΔ)"},
+	}
+	n := 200
+	rhoSweep := []float64{0.05, 0.1, 0.2, 0.5}
+	reps := cfg.reps(8)
+	if cfg.Quick {
+		n = 60
+		rhoSweep = []float64{0.2, 0.5}
+		reps = cfg.reps(4)
+	}
+
+	passed := true
+	var normalized []float64
+	for i, rho := range rhoSweep {
+		if rho < 10/float64(n) {
+			// The Theorem 1.5 construction requires rho >= 10/n.
+			continue
+		}
+		rng := cfg.rng(uint64(400 + i))
+		probe, err := dynamic.NewAbsGNRho(n, rho, rng.Split(1))
+		if err != nil {
+			return nil, fmt.Errorf("AbsGNRho(n=%d, rho=%v): %w", n, rho, err)
+		}
+		factory := func(r *xrand.RNG) (dynamic.Network, int, error) {
+			net, err := dynamic.NewAbsGNRho(n, rho, r)
+			if err != nil {
+				return nil, 0, err
+			}
+			return net, net.StartVertex(), nil
+		}
+		times, err := measureAsync(factory, reps, rng.Split(2), 0)
+		if err != nil {
+			return nil, fmt.Errorf("AbsGNRho(n=%d, rho=%v): %w", n, rho, err)
+		}
+		mean, _ := summary(times)
+
+		lower := probe.LowerBoundSpreadTime()
+		profile := bound.ConstantProfile(bound.StepProfile{
+			AbsRho:    probe.AbsoluteDiligenceValue(),
+			Connected: true,
+		})
+		tabs, err := bound.Theorem13(profile, n, 0)
+		if err != nil {
+			return nil, fmt.Errorf("T_abs: %w", err)
+		}
+		nd := float64(n) * float64(probe.Delta())
+		t.AddRow(n, rho, probe.Delta(), mean, lower, tabs, ratio(mean, nd))
+		normalized = append(normalized, ratio(mean, nd))
+		if mean < 0.7*lower {
+			passed = false
+			t.AddNote("VIOLATION: rho=%.2f measured %.1f below the Ω(nΔ/40) lower bound %.1f", rho, mean, lower)
+		}
+		if mean > float64(tabs) {
+			passed = false
+			t.AddNote("VIOLATION: rho=%.2f measured %.1f above T_abs=%d", rho, mean, tabs)
+		}
+	}
+	// Θ(n/ρ) = Θ(nΔ): the normalized ratios should agree within a small
+	// constant factor across the sweep.
+	if len(normalized) > 1 {
+		min, max := normalized[0], normalized[0]
+		for _, v := range normalized[1:] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if min > 0 && max/min > 6 {
+			passed = false
+			t.AddNote("VIOLATION: measured/(nΔ) varies by factor %.1f across rho, expected Θ(1)", max/min)
+		} else {
+			t.AddNote("measured/(nΔ) stays within a factor %.1f across the rho sweep, matching Θ(n/ρ)", max/min)
+		}
+	}
+	t.Passed = passed
+	return t, nil
+}

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryContainsAllExperiments(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs() = %v, want numeric order %v", ids, want)
+		}
+		if _, ok := Title(id); !ok {
+			t.Fatalf("Title(%s) missing", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99", QuickConfig()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if _, ok := Title("E99"); ok {
+		t.Fatal("Title should report missing experiments")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "demo", Columns: []string{"a", "b"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x,y", 1e-5)
+	tbl.AddNote("hello %d", 7)
+	tbl.Passed = true
+	text := tbl.Text()
+	if !strings.Contains(text, "demo") || !strings.Contains(text, "hello 7") || !strings.Contains(text, "PASSED") {
+		t.Fatalf("Text rendering missing pieces:\n%s", text)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, "a,b") || !strings.Contains(csv, "\"x,y\"") {
+		t.Fatalf("CSV rendering wrong:\n%s", csv)
+	}
+	empty := &Table{ID: "X", Title: "no columns"}
+	if empty.Text() == "" {
+		t.Fatal("empty table should still render a header")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {12345, "12345"}, {42.42, "42.4"}, {0.125, "0.125"}, {1e-6, "1.00e-06"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	cfg := Config{}
+	if cfg.reps(12) != 12 {
+		t.Fatal("default reps not applied")
+	}
+	cfg.Reps = 3
+	if cfg.reps(12) != 3 {
+		t.Fatal("explicit reps not used")
+	}
+	if DefaultConfig().Seed == 0 || QuickConfig().Quick != true {
+		t.Fatal("config constructors wrong")
+	}
+	a := Config{Seed: 1}.rng(5)
+	b := Config{Seed: 1}.rng(5)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("config rng not deterministic")
+	}
+}
+
+func TestHelperFunctions(t *testing.T) {
+	if ratio(4, 2) != 2 || ratio(1, 0) != 0 {
+		t.Fatal("ratio wrong")
+	}
+	if !allPositive(1, 2, 3) || allPositive(1, 0) {
+		t.Fatal("allPositive wrong")
+	}
+	mean, q90 := summary([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if mean != 5.5 || q90 < 9 || q90 > 10 {
+		t.Fatalf("summary = (%v, %v)", mean, q90)
+	}
+}
+
+// Each experiment runs end-to-end in quick mode. The shape checks themselves
+// are part of the experiment (Table.Passed); these tests assert both that the
+// harness runs and that the paper's predictions hold at reduced scale.
+
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	tbl, err := Run(id, QuickConfig())
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	if tbl.ID != id {
+		t.Fatalf("table ID %s, want %s", tbl.ID, id)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	if !tbl.Passed {
+		t.Errorf("%s shape checks failed:\n%s", id, tbl.Text())
+	}
+	return tbl
+}
+
+func TestRunE1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E1")
+}
+
+func TestRunE2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E2")
+}
+
+func TestRunE3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E3")
+}
+
+func TestRunE4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E4")
+}
+
+func TestRunE5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E5")
+}
+
+func TestRunE6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E6")
+}
+
+func TestRunE7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E7")
+}
+
+func TestRunE8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E8")
+}
+
+func TestRunE9Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E9")
+}
+
+func TestRunE10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E10")
+}
+
+func TestRunE11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E11")
+}
+
+func TestRunE12Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runQuick(t, "E12")
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/xrand"
+)
+
+// networkFactory builds a fresh network instance (stateful adaptive networks
+// must not be reused across repetitions) and reports the start vertex.
+type networkFactory func(rng *xrand.RNG) (dynamic.Network, int, error)
+
+// measureAsync runs the asynchronous simulator reps times and returns the
+// spread times. maxTime of 0 uses the simulator default.
+func measureAsync(factory networkFactory, reps int, rng *xrand.RNG, maxTime float64) ([]float64, error) {
+	times := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		sub := rng.Split(uint64(rep) + 1)
+		net, start, err := factory(sub.Split(1))
+		if err != nil {
+			return nil, fmt.Errorf("build network: %w", err)
+		}
+		res, err := sim.RunAsync(net, sim.AsyncOptions{Start: start, MaxTime: maxTime}, sub.Split(2))
+		if err != nil {
+			return nil, fmt.Errorf("async run: %w", err)
+		}
+		if !res.Completed {
+			// Record the cutoff time; callers decide whether that matters.
+			times = append(times, res.SpreadTime)
+			continue
+		}
+		times = append(times, res.SpreadTime)
+	}
+	return times, nil
+}
+
+// measureSync runs the synchronous simulator reps times and returns the round
+// counts.
+func measureSync(factory networkFactory, reps int, rng *xrand.RNG, maxRounds int) ([]float64, error) {
+	times := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		sub := rng.Split(uint64(rep) + 1)
+		net, start, err := factory(sub.Split(1))
+		if err != nil {
+			return nil, fmt.Errorf("build network: %w", err)
+		}
+		res, err := sim.RunSync(net, sim.SyncOptions{Start: start, MaxRounds: maxRounds}, sub.Split(2))
+		if err != nil {
+			return nil, fmt.Errorf("sync run: %w", err)
+		}
+		times = append(times, res.SpreadTime)
+	}
+	return times, nil
+}
+
+// summary condenses a sample into (mean, 0.9-quantile).
+func summary(times []float64) (mean, q90 float64) {
+	return stats.Mean(times), stats.Quantile(times, 0.9)
+}
+
+// staticFactory wraps a fixed network (safe only for stateless networks).
+func staticFactory(net dynamic.Network, start int) networkFactory {
+	return func(*xrand.RNG) (dynamic.Network, int, error) { return net, start, nil }
+}
+
+// ratio returns a/b, or 0 when b is 0 (avoids Inf cells in tables).
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// allPositive reports whether every value is strictly positive.
+func allPositive(xs ...float64) bool {
+	for _, x := range xs {
+		if x <= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,18 @@
+package experiment
+
+// The registry wires every experiment to its ID; cmd/experiments and the
+// benchmark harness iterate over it.
+var (
+	_ = register("E1", "Theorem 1.1 upper bound T(G,c)", RunE1)
+	_ = register("E2", "Theorem 1.2 tightness on G(n,ρ)", RunE2)
+	_ = register("E3", "Theorem 1.3 / Remark 1.4 absolute bound and O(n²) worst case", RunE3)
+	_ = register("E4", "Theorem 1.5 absolutely ρ-diligent network Θ(n/ρ)", RunE4)
+	_ = register("E5", "Theorem 1.7(i)-(ii) / Figure 1 dichotomy", RunE5)
+	_ = register("E6", "Theorem 1.7(iii) dynamic-star tail", RunE6)
+	_ = register("E7", "Lemma 2.2 Poisson tail", RunE7)
+	_ = register("E8", "Observation 4.1 Φ and ρ of H_{k,Δ}", RunE8)
+	_ = register("E9", "Lemma 5.2 unit-time spread on regular graphs", RunE9)
+	_ = register("E10", "Section 1.2 comparison with the M(G) bound", RunE10)
+	_ = register("E11", "Corollary 1.6 combined bound", RunE11)
+	_ = register("E12", "Lemma 4.2 / Claim 4.3 bipartite-string crossing", RunE12)
+)

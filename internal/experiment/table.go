@@ -1,0 +1,136 @@
+// Package experiment contains the harness that regenerates every result of
+// the paper's evaluation: one experiment per theorem/observation/figure
+// (E1–E11, see DESIGN.md), each producing a table that can be rendered as
+// text or CSV and compared against the paper's predicted shape.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E5").
+	ID string
+	// Title is a human-readable description referencing the paper result.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold the formatted cells, one slice per row.
+	Rows [][]string
+	// Notes are free-form remarks (e.g. which inequality was checked and
+	// whether it held).
+	Notes []string
+	// Passed reports whether the experiment's shape checks all held.
+	Passed bool
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01 || v <= -0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// Text renders the table as aligned plain text.
+func (t *Table) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	if len(t.Columns) == 0 {
+		return sb.String()
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", note)
+	}
+	if t.Passed {
+		sb.WriteString("check: PASSED\n")
+	} else {
+		sb.WriteString("check: FAILED\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	escape := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	cells := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cells[i] = escape(c)
+	}
+	sb.WriteString(strings.Join(cells, ","))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, escape(c))
+		}
+		sb.WriteString(strings.Join(cells, ","))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

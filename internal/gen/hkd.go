@@ -1,0 +1,169 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// HkdParams describes the graph H_{k,Δ}(A,B) of Section 4 of the paper:
+// a "string of complete bipartite graphs" S_0 - S_1 - ... - S_k bridging two
+// constant-degree expanders, where S_0 ⊂ A and S_1,...,S_k ⊂ B.
+type HkdParams struct {
+	// K is the number of bipartite layers after S_0 (the string has k+1
+	// clusters S_0..S_k). Must be >= 1.
+	K int
+	// Delta is the cluster size Δ = |S_i|. Must be >= 1.
+	Delta int
+	// A and B are the two sides of the vertex partition, given as disjoint
+	// lists of vertex ids covering 0..n-1. |A| must be at least Delta+1 and
+	// |B| at least K*Delta+1 so both expanders are non-empty.
+	A, B []int
+}
+
+// Hkd is the constructed graph together with the bookkeeping the dynamic
+// network of Theorem 1.2 and the experiments need: the cluster membership and
+// the analytic conductance/diligence scales of Observation 4.1.
+type Hkd struct {
+	Graph  *graph.Graph
+	Params HkdParams
+	// Clusters[i] lists the vertices of S_i, for i = 0..K.
+	Clusters [][]int
+	// ExpanderA and ExpanderB list the vertices of A\S_0 and B\∪S_i.
+	ExpanderA, ExpanderB []int
+}
+
+// NewHkd builds H_{k,Δ}(A,B). The expanders on A\S_0 and B\∪S_i are random
+// 4-regular graphs (with a deterministic circulant fallback); every vertex of
+// S_0 (resp. S_k) is additionally joined to Δ distinct vertices of the A-side
+// (resp. B-side) expander, spreading those edges so each expander vertex gains
+// at most a constant number of them, exactly as prescribed by the paper.
+func NewHkd(p HkdParams, rng *xrand.RNG) (*Hkd, error) {
+	if p.K < 1 || p.Delta < 1 {
+		return nil, fmt.Errorf("gen: Hkd requires K >= 1 and Delta >= 1, got K=%d Delta=%d", p.K, p.Delta)
+	}
+	if len(p.A) < p.Delta+1 {
+		return nil, fmt.Errorf("gen: Hkd side A has %d vertices, need at least Delta+1=%d", len(p.A), p.Delta+1)
+	}
+	if len(p.B) < p.K*p.Delta+1 {
+		return nil, fmt.Errorf("gen: Hkd side B has %d vertices, need at least K*Delta+1=%d", len(p.B), p.K*p.Delta+1)
+	}
+	n := len(p.A) + len(p.B)
+	seen := make([]bool, n)
+	for _, v := range append(append([]int(nil), p.A...), p.B...) {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("gen: Hkd vertex %d out of range for n=%d", v, n)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("gen: Hkd vertex %d appears twice in A ∪ B", v)
+		}
+		seen[v] = true
+	}
+
+	h := &Hkd{Params: p}
+	// Clusters: S_0 is the first Delta vertices of A; S_1..S_k take the first
+	// K*Delta vertices of B.
+	h.Clusters = make([][]int, p.K+1)
+	h.Clusters[0] = append([]int(nil), p.A[:p.Delta]...)
+	for i := 1; i <= p.K; i++ {
+		start := (i - 1) * p.Delta
+		h.Clusters[i] = append([]int(nil), p.B[start:start+p.Delta]...)
+	}
+	h.ExpanderA = append([]int(nil), p.A[p.Delta:]...)
+	h.ExpanderB = append([]int(nil), p.B[p.K*p.Delta:]...)
+
+	b := graph.NewBuilder(n)
+	// Step 1: the string of complete bipartite graphs S_i x S_{i+1}.
+	for i := 0; i < p.K; i++ {
+		for _, u := range h.Clusters[i] {
+			for _, v := range h.Clusters[i+1] {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	// Step 2: constant-degree expanders on A\S_0 and B\∪S_i.
+	addExpander(b, h.ExpanderA, rng)
+	addExpander(b, h.ExpanderB, rng)
+	// Attach S_0 to the A-side expander and S_k to the B-side expander:
+	// each cluster vertex gets Delta distinct expander neighbors, spread so
+	// every expander vertex gains O(Delta^2 / |expander|) = O(1) edges when
+	// Delta = O(sqrt(n)).
+	attachCluster(b, h.Clusters[0], h.ExpanderA)
+	attachCluster(b, h.Clusters[p.K], h.ExpanderB)
+
+	h.Graph = b.Build()
+	return h, nil
+}
+
+// addExpander adds a constant-degree expander over the given vertex ids.
+func addExpander(b *graph.Builder, vertices []int, rng *xrand.RNG) {
+	m := len(vertices)
+	if m <= 1 {
+		return
+	}
+	if m <= 5 {
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				b.AddEdge(vertices[i], vertices[j])
+			}
+		}
+		return
+	}
+	local := Expander(m, 4, rng)
+	for _, e := range local.Edges() {
+		b.AddEdge(vertices[e.U], vertices[e.V])
+	}
+}
+
+// attachCluster joins every vertex of cluster to delta distinct vertices of
+// target (delta = len(cluster)), spreading the edges round-robin so each
+// target vertex gains at most ceil(delta^2/len(target)) + 1 edges.
+func attachCluster(b *graph.Builder, cluster, target []int) {
+	if len(target) == 0 {
+		return
+	}
+	delta := len(cluster)
+	pos := 0
+	for _, u := range cluster {
+		// delta distinct targets for u; if delta > len(target) the paper's
+		// precondition Δ = O(√n) is violated, so cap at len(target).
+		count := delta
+		if count > len(target) {
+			count = len(target)
+		}
+		for i := 0; i < count; i++ {
+			b.AddEdge(u, target[(pos+i)%len(target)])
+		}
+		pos = (pos + count) % len(target)
+	}
+}
+
+// ConductanceScale returns the analytic conductance scale of Observation 4.1,
+// Φ(H_{k,Δ}) = Θ(Δ² / (kΔ² + n)).
+func (h *Hkd) ConductanceScale() float64 {
+	d := float64(h.Params.Delta)
+	k := float64(h.Params.K)
+	n := float64(h.Graph.N())
+	return d * d / (k*d*d + n)
+}
+
+// DiligenceScale returns the analytic diligence scale of Observation 4.1,
+// ρ(H_{k,Δ}) = Θ(1/Δ).
+func (h *Hkd) DiligenceScale() float64 {
+	return 1 / float64(h.Params.Delta)
+}
+
+// DefaultK returns the paper's choice k = Θ(log n / log log n) used by the
+// Theorem 1.2 construction, always at least 1.
+func DefaultK(n int) int {
+	if n < 16 {
+		return 1
+	}
+	k := int(math.Round(math.Log(float64(n)) / math.Log(math.Log(float64(n)))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

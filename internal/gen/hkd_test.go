@@ -1,0 +1,156 @@
+package gen
+
+import (
+	"testing"
+
+	"dynamicrumor/internal/xrand"
+)
+
+func splitAB(n, sizeA int) (a, b []int) {
+	for v := 0; v < sizeA; v++ {
+		a = append(a, v)
+	}
+	for v := sizeA; v < n; v++ {
+		b = append(b, v)
+	}
+	return a, b
+}
+
+func TestNewHkdBasicStructure(t *testing.T) {
+	rng := xrand.New(21)
+	const n = 400
+	a, b := splitAB(n, n/4)
+	p := HkdParams{K: 3, Delta: 8, A: a, B: b}
+	h, err := NewHkd(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := h.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n {
+		t.Fatalf("n = %d, want %d", g.N(), n)
+	}
+	if !g.IsConnected() {
+		t.Fatal("Hkd graph disconnected")
+	}
+	if len(h.Clusters) != p.K+1 {
+		t.Fatalf("clusters = %d, want %d", len(h.Clusters), p.K+1)
+	}
+	for i, c := range h.Clusters {
+		if len(c) != p.Delta {
+			t.Fatalf("cluster %d has %d vertices, want %d", i, len(c), p.Delta)
+		}
+	}
+	// Interior cluster vertices (S_1..S_{k-1}) have degree exactly 2Δ.
+	for i := 1; i < p.K; i++ {
+		for _, v := range h.Clusters[i] {
+			if g.Degree(v) != 2*p.Delta {
+				t.Fatalf("interior cluster vertex %d has degree %d, want %d", v, g.Degree(v), 2*p.Delta)
+			}
+		}
+	}
+	// S_0 and S_k vertices have degree 2Δ as well (Δ into the string, Δ into
+	// the expander).
+	for _, v := range append(append([]int(nil), h.Clusters[0]...), h.Clusters[p.K]...) {
+		if g.Degree(v) != 2*p.Delta {
+			t.Fatalf("boundary cluster vertex %d has degree %d, want %d", v, g.Degree(v), 2*p.Delta)
+		}
+	}
+}
+
+func TestNewHkdExpanderDegreesStayConstant(t *testing.T) {
+	rng := xrand.New(22)
+	const n = 1000
+	a, b := splitAB(n, n/4)
+	delta := 16 // Δ ≈ √n/2
+	h, err := NewHkd(HkdParams{K: 4, Delta: delta, A: a, B: b}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expander vertices keep constant degree: 4-regular expander plus at most
+	// a small additive constant from the cluster attachment.
+	maxAllowed := 4 + (delta*delta)/len(h.ExpanderA) + 2
+	for _, v := range h.ExpanderA {
+		if d := h.Graph.Degree(v); d > maxAllowed {
+			t.Fatalf("expander-A vertex %d has degree %d, want <= %d", v, d, maxAllowed)
+		}
+	}
+	for _, v := range h.ExpanderB {
+		if d := h.Graph.Degree(v); d > maxAllowed {
+			t.Fatalf("expander-B vertex %d has degree %d, want <= %d", v, d, maxAllowed)
+		}
+	}
+}
+
+func TestNewHkdCutBetweenLayers(t *testing.T) {
+	rng := xrand.New(23)
+	const n = 300
+	a, b := splitAB(n, n/2)
+	p := HkdParams{K: 2, Delta: 5, A: a, B: b}
+	h, err := NewHkd(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only edges between A and B go through S_0 x S_1: exactly Δ² of them.
+	member := make([]bool, n)
+	for _, v := range a {
+		member[v] = true
+	}
+	if got := h.Graph.CutSize(member); got != p.Delta*p.Delta {
+		t.Fatalf("A/B cut = %d, want %d", got, p.Delta*p.Delta)
+	}
+}
+
+func TestNewHkdErrors(t *testing.T) {
+	rng := xrand.New(24)
+	a, b := splitAB(100, 25)
+	cases := []HkdParams{
+		{K: 0, Delta: 4, A: a, B: b},
+		{K: 2, Delta: 0, A: a, B: b},
+		{K: 2, Delta: 30, A: a, B: b}, // A too small
+		{K: 40, Delta: 4, A: a, B: b}, // B too small
+	}
+	for i, p := range cases {
+		if _, err := NewHkd(p, rng); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Duplicate vertex across sides.
+	dupA := []int{0, 1, 2, 3, 4, 5}
+	dupB := []int{5, 6, 7, 8, 9, 10, 11}
+	if _, err := NewHkd(HkdParams{K: 1, Delta: 2, A: dupA, B: dupB}, rng); err == nil {
+		t.Error("duplicate vertex should fail")
+	}
+}
+
+func TestHkdAnalyticScales(t *testing.T) {
+	rng := xrand.New(25)
+	a, b := splitAB(400, 100)
+	h, err := NewHkd(HkdParams{K: 3, Delta: 10, A: a, B: b}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := h.ConductanceScale()
+	want := 100.0 / (3*100 + 400)
+	if phi != want {
+		t.Fatalf("ConductanceScale = %v, want %v", phi, want)
+	}
+	if rho := h.DiligenceScale(); rho != 0.1 {
+		t.Fatalf("DiligenceScale = %v, want 0.1", rho)
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	if DefaultK(8) != 1 {
+		t.Fatal("DefaultK for tiny n should be 1")
+	}
+	k1000 := DefaultK(1000)
+	if k1000 < 2 || k1000 > 6 {
+		t.Fatalf("DefaultK(1000) = %d, expected a small constant around log n / log log n", k1000)
+	}
+	if DefaultK(100000) <= DefaultK(100) {
+		t.Fatal("DefaultK should grow with n")
+	}
+}

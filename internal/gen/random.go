@@ -1,0 +1,53 @@
+package gen
+
+import (
+	"math"
+
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// ErdosRenyi returns a G(n, p) random graph: every unordered pair becomes an
+// edge independently with probability p. It uses the skip-based sampler of
+// Batagelj and Brandes, which runs in expected O(n + m) time.
+func ErdosRenyi(n int, p float64, rng *xrand.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if n <= 1 || p <= 0 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Clique(n)
+	}
+	logQ := math.Log(1 - p)
+	v, w := 1, -1
+	for v < n {
+		r := rng.Float64()
+		w = w + 1 + int(math.Log(1-r)/logQ)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// RandomConnected returns a connected Erdős–Rényi-style graph: it draws
+// G(n, p) graphs until one is connected, raising p after repeated failures.
+// Intended for tests and examples with modest n.
+func RandomConnected(n int, p float64, rng *xrand.RNG) *graph.Graph {
+	if n <= 1 {
+		return graph.FromEdges(n, nil)
+	}
+	for attempt := 0; ; attempt++ {
+		g := ErdosRenyi(n, p, rng)
+		if g.IsConnected() {
+			return g
+		}
+		if attempt%10 == 9 && p < 1 {
+			p = math.Min(1, p*1.5)
+		}
+	}
+}

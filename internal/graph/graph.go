@@ -1,0 +1,322 @@
+// Package graph implements the static undirected simple graphs on which the
+// rumor-spreading processes run: adjacency structure, degrees, volumes, cut
+// sets and basic traversals.
+//
+// Vertices are the integers 0..n-1. Graphs are immutable after Build; the
+// dynamic-network packages expose a fresh *Graph per time step.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge {U, V} with U < V in canonical form.
+type Edge struct {
+	U, V int
+}
+
+// Canonical returns the edge with endpoints ordered U <= V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges map[Edge]struct{}
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+// It panics if n < 0.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, edges: make(map[Edge]struct{})}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops and duplicate edges
+// are ignored (the graph is simple). It panics if either endpoint is out of
+// range.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.edges[Edge{U: u, V: v}.Canonical()] = struct{}{}
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	_, ok := b.edges[Edge{U: u, V: v}.Canonical()]
+	return ok
+}
+
+// NumEdges returns the number of distinct edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable graph. The builder remains usable.
+func (b *Builder) Build() *Graph {
+	edges := make([]Edge, 0, len(b.edges))
+	for e := range b.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return FromEdges(b.n, edges)
+}
+
+// Graph is an immutable undirected simple graph in compressed adjacency form.
+type Graph struct {
+	n      int
+	edges  []Edge
+	adjOff []int // adjacency offsets, length n+1
+	adj    []int // concatenated sorted neighbor lists, length 2m
+	degree []int
+	volume int // sum of degrees = 2m
+}
+
+// FromEdges builds a graph on n vertices from a list of edges. Duplicate
+// edges and self-loops are removed. It panics if any endpoint is out of range.
+func FromEdges(n int, edges []Edge) *Graph {
+	seen := make(map[Edge]struct{}, len(edges))
+	clean := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n))
+		}
+		if e.U == e.V {
+			continue
+		}
+		c := e.Canonical()
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		clean = append(clean, c)
+	}
+	sort.Slice(clean, func(i, j int) bool {
+		if clean[i].U != clean[j].U {
+			return clean[i].U < clean[j].U
+		}
+		return clean[i].V < clean[j].V
+	})
+
+	g := &Graph{n: n, edges: clean}
+	g.degree = make([]int, n)
+	for _, e := range clean {
+		g.degree[e.U]++
+		g.degree[e.V]++
+	}
+	g.adjOff = make([]int, n+1)
+	for v := 0; v < n; v++ {
+		g.adjOff[v+1] = g.adjOff[v] + g.degree[v]
+	}
+	g.adj = make([]int, 2*len(clean))
+	fill := make([]int, n)
+	copy(fill, g.adjOff[:n])
+	for _, e := range clean {
+		g.adj[fill[e.U]] = e.V
+		fill[e.U]++
+		g.adj[fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	for v := 0; v < n; v++ {
+		nb := g.adj[g.adjOff[v]:g.adjOff[v+1]]
+		sort.Ints(nb)
+		g.volume += g.degree[v]
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return g.degree[v] }
+
+// Volume returns the sum of all degrees, i.e. 2*M().
+func (g *Graph) Volume() int { return g.volume }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int {
+	return g.adj[g.adjOff[v]:g.adjOff[v+1]]
+}
+
+// Neighbor returns the i-th neighbor of v (0-based, in sorted order).
+func (g *Graph) Neighbor(v, i int) int {
+	return g.adj[g.adjOff[v]+i]
+}
+
+// Edges returns all edges in canonical sorted order. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// HasEdge reports whether {u,v} is an edge (binary search over the sorted
+// neighbor list of the lower-degree endpoint).
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	if g.degree[u] > g.degree[v] {
+		u, v = v, u
+	}
+	nb := g.Neighbors(u)
+	i := sort.SearchInts(nb, v)
+	return i < len(nb) && nb[i] == v
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, d := range g.degree {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum vertex degree (0 for a graph with no
+// vertices).
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := g.degree[0]
+	for _, d := range g.degree[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// AverageDegree returns Volume()/N() (0 for an empty graph).
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.volume) / float64(g.n)
+}
+
+// IsRegular reports whether every vertex has the same degree, and that degree.
+func (g *Graph) IsRegular() (bool, int) {
+	if g.n == 0 {
+		return true, 0
+	}
+	d := g.degree[0]
+	for _, dd := range g.degree[1:] {
+		if dd != d {
+			return false, 0
+		}
+	}
+	return true, d
+}
+
+// VolumeOf returns the sum of degrees over the vertices marked true in member.
+// member must have length N().
+func (g *Graph) VolumeOf(member []bool) int {
+	vol := 0
+	for v, in := range member {
+		if in {
+			vol += g.degree[v]
+		}
+	}
+	return vol
+}
+
+// CutEdges returns the edges with exactly one endpoint in the set marked true
+// in member. member must have length N().
+func (g *Graph) CutEdges(member []bool) []Edge {
+	var cut []Edge
+	for _, e := range g.edges {
+		if member[e.U] != member[e.V] {
+			cut = append(cut, e)
+		}
+	}
+	return cut
+}
+
+// CutSize returns the number of edges crossing the set marked true in member.
+func (g *Graph) CutSize(member []bool) int {
+	count := 0
+	for _, e := range g.edges {
+		if member[e.U] != member[e.V] {
+			count++
+		}
+	}
+	return count
+}
+
+// InducedSubgraph returns the subgraph induced by the vertices marked true in
+// member, together with the mapping from new vertex ids to original ids.
+func (g *Graph) InducedSubgraph(member []bool) (*Graph, []int) {
+	oldToNew := make([]int, g.n)
+	var newToOld []int
+	for v := 0; v < g.n; v++ {
+		if member[v] {
+			oldToNew[v] = len(newToOld)
+			newToOld = append(newToOld, v)
+		} else {
+			oldToNew[v] = -1
+		}
+	}
+	var edges []Edge
+	for _, e := range g.edges {
+		if member[e.U] && member[e.V] {
+			edges = append(edges, Edge{U: oldToNew[e.U], V: oldToNew[e.V]})
+		}
+	}
+	return FromEdges(len(newToOld), edges), newToOld
+}
+
+// Validate checks internal invariants; it returns a descriptive error if any
+// is violated. A nil error means the structure is consistent.
+func (g *Graph) Validate() error {
+	if len(g.degree) != g.n || len(g.adjOff) != g.n+1 {
+		return fmt.Errorf("graph: inconsistent slice lengths")
+	}
+	sumDeg := 0
+	for v := 0; v < g.n; v++ {
+		sumDeg += g.degree[v]
+		if g.adjOff[v+1]-g.adjOff[v] != g.degree[v] {
+			return fmt.Errorf("graph: adjacency offsets disagree with degree at %d", v)
+		}
+	}
+	if sumDeg != 2*len(g.edges) {
+		return fmt.Errorf("graph: degree sum %d != 2m %d", sumDeg, 2*len(g.edges))
+	}
+	if g.volume != sumDeg {
+		return fmt.Errorf("graph: cached volume %d != degree sum %d", g.volume, sumDeg)
+	}
+	for v := 0; v < g.n; v++ {
+		nb := g.Neighbors(v)
+		for i, u := range nb {
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if i > 0 && nb[i-1] >= u {
+				return fmt.Errorf("graph: neighbor list of %d not strictly sorted", v)
+			}
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: asymmetric adjacency %d-%d", v, u)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// Mode selects which contacts can transfer the rumor.
+type Mode int
+
+const (
+	// PushPull is the standard algorithm of Definition 1: a contact transfers
+	// the rumor if at least one endpoint knows it.
+	PushPull Mode = iota + 1
+	// PushOnly transfers the rumor only from the calling (informed) vertex.
+	PushOnly
+	// PullOnly transfers the rumor only to the calling (uninformed) vertex.
+	PullOnly
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case PushPull:
+		return "push-pull"
+	case PushOnly:
+		return "push"
+	case PullOnly:
+		return "pull"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrInvalidStart is returned when the start vertex is out of range.
+var ErrInvalidStart = errors.New("sim: start vertex out of range")
+
+// AsyncOptions configures the asynchronous simulator.
+type AsyncOptions struct {
+	// Start is the initially informed vertex.
+	Start int
+	// Mode selects push-pull (default), push-only or pull-only transfer.
+	Mode Mode
+	// ClockRate is the Poisson rate of every vertex's clock; 0 means 1, the
+	// paper's standard model. The asynchronous "2-push" coupling of Section 4
+	// corresponds to Mode PushOnly with ClockRate 2.
+	ClockRate float64
+	// MaxTime aborts the run once simulated time exceeds it (0 means the
+	// generous default 16·n², beyond the paper's worst-case O(n²) bound).
+	MaxTime float64
+	// RecordTrace stores a TracePoint per newly informed vertex.
+	RecordTrace bool
+}
+
+// RunAsync simulates the asynchronous rumor-spreading process on a dynamic
+// network. The simulation is exact: within a unit interval the graph is
+// fixed, every vertex holds an independent Poisson clock and contacts a
+// uniformly random neighbor on each tick; only informative contacts change
+// state, so the simulator samples the next informative contact directly from
+// the aggregate informative-contact rate (the λ(τ) of Equation 1), which by
+// the memorylessness of exponential clocks has the same law as simulating
+// every tick.
+func RunAsync(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG) (*Result, error) {
+	n := net.N()
+	if opts.Start < 0 || opts.Start >= n {
+		return nil, ErrInvalidStart
+	}
+	if n == 0 {
+		return &Result{Completed: true}, nil
+	}
+	mode := opts.Mode
+	if mode == 0 {
+		mode = PushPull
+	}
+	clockRate := opts.ClockRate
+	if clockRate <= 0 {
+		clockRate = 1
+	}
+	maxTime := opts.MaxTime
+	if maxTime <= 0 {
+		maxTime = 16 * float64(n) * float64(n)
+	}
+
+	st := &asyncState{
+		n:        n,
+		mode:     mode,
+		rate:     clockRate,
+		informed: make([]bool, n),
+		weights:  newFenwick(n),
+	}
+	st.informed[opts.Start] = true
+	res := &Result{N: n, Informed: 1}
+	if opts.RecordTrace {
+		res.Trace = append(res.Trace, TracePoint{Time: 0, Informed: 1})
+	}
+
+	now := 0.0
+	step := 0
+	g := net.GraphAt(step, st.informed)
+	st.loadGraph(g)
+
+	for res.Informed < n {
+		if now >= maxTime {
+			res.SpreadTime = now
+			return res, nil
+		}
+		boundary := float64(step + 1)
+		// advance moves the clock to the next integer boundary and exposes the
+		// next graph; if the dynamic network returns the same *graph.Graph the
+		// incremental state is still valid and the O(n+m) reload is skipped.
+		advance := func() {
+			now = boundary
+			step++
+			res.Steps++
+			next := net.GraphAt(step, st.informed)
+			if next != g {
+				g = next
+				st.loadGraph(g)
+			}
+		}
+		total := st.weights.Total()
+		if total <= 0 {
+			// No informative contact is possible in this interval (e.g. the
+			// exposed graph disconnects informed from uninformed vertices):
+			// jump to the next graph.
+			advance()
+			continue
+		}
+		wait := rng.Exp(total)
+		if now+wait >= boundary {
+			advance()
+			continue
+		}
+		now += wait
+		v := st.sampleNewlyInformed(rng)
+		if v < 0 {
+			// Numerically empty cut; treat like a zero-rate interval.
+			advance()
+			continue
+		}
+		st.inform(v)
+		res.Informed++
+		res.Events++
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, TracePoint{Time: now, Informed: res.Informed})
+		}
+	}
+	res.SpreadTime = now
+	res.Completed = true
+	return res, nil
+}
+
+// asyncState holds the incremental bookkeeping of the cut-rate simulator.
+//
+// For every vertex it maintains an "informative rate":
+//   - an informed vertex u contributes pushRate(u) = rate·(#uninformed
+//     neighbors of u)/deg(u) when pushing is allowed;
+//   - an uninformed vertex v contributes pullRate(v) = rate·(#informed
+//     neighbors of v)/deg(v) when pulling is allowed.
+//
+// The sum of these weights is exactly λ(τ) of Equation (1) (for the standard
+// push-pull with rate 1), and sampling a vertex proportionally to its weight
+// followed by the appropriate neighbor choice reproduces the law of the next
+// informative contact.
+type asyncState struct {
+	n        int
+	mode     Mode
+	rate     float64
+	informed []bool
+	g        *graph.Graph
+	// counts[v] is the number of uninformed neighbors if v is informed, and
+	// the number of informed neighbors if v is uninformed.
+	counts  []int
+	weights *fenwick
+}
+
+// loadGraph recomputes all counts and weights for a freshly exposed graph.
+func (st *asyncState) loadGraph(g *graph.Graph) {
+	st.g = g
+	if st.counts == nil {
+		st.counts = make([]int, st.n)
+	}
+	st.weights.Reset()
+	for v := 0; v < st.n; v++ {
+		cnt := 0
+		for _, u := range g.Neighbors(v) {
+			if st.informed[u] != st.informed[v] {
+				cnt++
+			}
+		}
+		st.counts[v] = cnt
+		st.weights.Set(v, st.vertexWeight(v))
+	}
+}
+
+// vertexWeight returns the informative-contact rate contributed by v.
+func (st *asyncState) vertexWeight(v int) float64 {
+	d := st.g.Degree(v)
+	if d == 0 || st.counts[v] == 0 {
+		return 0
+	}
+	if st.informed[v] {
+		if st.mode == PullOnly {
+			return 0
+		}
+	} else {
+		if st.mode == PushOnly {
+			return 0
+		}
+	}
+	return st.rate * float64(st.counts[v]) / float64(d)
+}
+
+// sampleNewlyInformed draws the vertex that becomes informed by the next
+// informative contact. It returns -1 if no contact is possible.
+func (st *asyncState) sampleNewlyInformed(rng *xrand.RNG) int {
+	total := st.weights.Total()
+	if total <= 0 {
+		return -1
+	}
+	x := st.weights.Sample(rng.Float64() * total)
+	if x < 0 {
+		return -1
+	}
+	if !st.informed[x] {
+		// x pulled the rumor from one of its informed neighbors.
+		return x
+	}
+	// x pushed the rumor to a uniformly random uninformed neighbor.
+	target := rng.Intn(st.counts[x])
+	seen := 0
+	for _, u := range st.g.Neighbors(x) {
+		if !st.informed[u] {
+			if seen == target {
+				return u
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+// inform marks v as informed and updates all incremental structures.
+func (st *asyncState) inform(v int) {
+	if st.informed[v] {
+		return
+	}
+	st.informed[v] = true
+	// v's own count switches meaning: it now counts uninformed neighbors.
+	cnt := 0
+	for _, u := range st.g.Neighbors(v) {
+		if !st.informed[u] {
+			cnt++
+		}
+	}
+	st.counts[v] = cnt
+	st.weights.Set(v, st.vertexWeight(v))
+	// Every neighbor's count changes by one.
+	for _, u := range st.g.Neighbors(v) {
+		if st.informed[u] {
+			// u lost an uninformed neighbor.
+			st.counts[u]--
+		} else {
+			// u gained an informed neighbor.
+			st.counts[u]++
+		}
+		st.weights.Set(u, st.vertexWeight(u))
+	}
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/xrand"
+)
+
+// isolatedVertexGraph returns K4 on vertices 0..3 plus the isolated vertex 4.
+func isolatedVertexGraph() *graph.Graph {
+	b := graph.NewBuilder(5)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// repeatGraphs returns a sequence with `first` repeated `times` times followed
+// by `last`.
+func repeatGraphs(first *graph.Graph, times int, last *graph.Graph) []*graph.Graph {
+	var out []*graph.Graph
+	for i := 0; i < times; i++ {
+		out = append(out, first)
+	}
+	return append(out, last)
+}
+
+func TestRunAsyncSingleVertex(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(1))
+	res, err := RunAsync(net, AsyncOptions{Start: 0}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.SpreadTime != 0 || res.Informed != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestRunAsyncInvalidStart(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(4))
+	if _, err := RunAsync(net, AsyncOptions{Start: 9}, xrand.New(1)); err != ErrInvalidStart {
+		t.Fatalf("error = %v, want ErrInvalidStart", err)
+	}
+	if _, err := RunAsyncNaive(net, AsyncOptions{Start: -1}, xrand.New(1)); err != ErrInvalidStart {
+		t.Fatalf("naive error = %v, want ErrInvalidStart", err)
+	}
+}
+
+func TestRunAsyncCompletesOnBasicGraphs(t *testing.T) {
+	rng := xrand.New(2)
+	nets := map[string]dynamic.Network{
+		"clique":    dynamic.NewStatic(gen.Clique(40)),
+		"star":      dynamic.NewStatic(gen.Star(40, 0)),
+		"cycle":     dynamic.NewStatic(gen.Cycle(40)),
+		"path":      dynamic.NewStatic(gen.Path(40)),
+		"hypercube": dynamic.NewStatic(gen.Hypercube(6)),
+	}
+	for name, net := range nets {
+		res, err := RunAsync(net, AsyncOptions{Start: 0, RecordTrace: true}, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: did not complete", name)
+		}
+		if res.Informed != net.N() {
+			t.Fatalf("%s: informed %d of %d", name, res.Informed, net.N())
+		}
+		if res.Events != net.N()-1 {
+			t.Fatalf("%s: events = %d, want n-1 = %d", name, res.Events, net.N()-1)
+		}
+		if res.Coverage() != 1 {
+			t.Fatalf("%s: coverage %v", name, res.Coverage())
+		}
+		// Trace is strictly increasing in informed count and non-decreasing in
+		// time.
+		for i := 1; i < len(res.Trace); i++ {
+			if res.Trace[i].Informed != res.Trace[i-1].Informed+1 {
+				t.Fatalf("%s: trace informed counts not consecutive", name)
+			}
+			if res.Trace[i].Time < res.Trace[i-1].Time {
+				t.Fatalf("%s: trace times decrease", name)
+			}
+		}
+	}
+}
+
+func TestRunAsyncCliqueLogarithmicSpread(t *testing.T) {
+	// On the complete graph the asynchronous push-pull finishes in Θ(log n)
+	// time; check that the measured mean is close to that scale and far from
+	// linear.
+	rng := xrand.New(3)
+	const n = 200
+	net := dynamic.NewStatic(gen.Clique(n))
+	var times []float64
+	for rep := 0; rep < 30; rep++ {
+		res, err := RunAsync(net, AsyncOptions{Start: rep % n}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.SpreadTime)
+	}
+	mean := stats.Mean(times)
+	logn := math.Log(float64(n))
+	if mean < logn/2 || mean > 6*logn {
+		t.Fatalf("clique mean spread time %v, want Θ(log n) ≈ %v", mean, logn)
+	}
+}
+
+func TestRunAsyncPathLinearSpread(t *testing.T) {
+	// On the path the rumor must travel hop by hop: expected time Θ(n).
+	rng := xrand.New(4)
+	const n = 60
+	net := dynamic.NewStatic(gen.Path(n))
+	var times []float64
+	for rep := 0; rep < 10; rep++ {
+		res, err := RunAsync(net, AsyncOptions{Start: 0}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.SpreadTime)
+	}
+	mean := stats.Mean(times)
+	if mean < float64(n)/4 || mean > 4*float64(n) {
+		t.Fatalf("path mean spread time %v, want Θ(n) ≈ %v", mean, float64(n))
+	}
+}
+
+func TestRunAsyncMaxTimeAborts(t *testing.T) {
+	rng := xrand.New(5)
+	net := dynamic.NewStatic(gen.Path(200))
+	res, err := RunAsync(net, AsyncOptions{Start: 0, MaxTime: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("run should have been cut off by MaxTime")
+	}
+	if res.Informed >= 200 {
+		t.Fatal("everything informed despite MaxTime=1 on a long path")
+	}
+}
+
+func TestRunAsyncDisconnectedNeverCompletes(t *testing.T) {
+	rng := xrand.New(6)
+	iso := dynamic.NewStatic(isolatedVertexGraph())
+	res, err := RunAsync(iso, AsyncOptions{Start: 0, MaxTime: 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("disconnected graph cannot be fully informed")
+	}
+	if res.Informed != 4 {
+		t.Fatalf("informed = %d, want 4 (the connected component)", res.Informed)
+	}
+}
+
+func TestRunAsyncPushOnlyAndPullOnly(t *testing.T) {
+	rng := xrand.New(7)
+	net := dynamic.NewStatic(gen.Clique(30))
+	for _, mode := range []Mode{PushOnly, PullOnly, PushPull} {
+		res, err := RunAsync(net, AsyncOptions{Start: 0, Mode: mode}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("mode %v did not complete", mode)
+		}
+	}
+}
+
+func TestRunAsyncPushOnlyStarFromLeaf(t *testing.T) {
+	// Push-only from a leaf of a star: the leaf can only push to the center,
+	// then the center pushes to every other leaf; still completes.
+	rng := xrand.New(8)
+	net := dynamic.NewStatic(gen.Star(20, 0))
+	res, err := RunAsync(net, AsyncOptions{Start: 5, Mode: PushOnly}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("push-only on star did not complete")
+	}
+}
+
+func TestRunAsyncClockRateScalesTime(t *testing.T) {
+	// Doubling every clock rate should roughly halve the spread time.
+	const n = 100
+	net := dynamic.NewStatic(gen.Clique(n))
+	mean := func(rate float64, seed uint64) float64 {
+		rng := xrand.New(seed)
+		var times []float64
+		for rep := 0; rep < 40; rep++ {
+			res, err := RunAsync(net, AsyncOptions{Start: 0, ClockRate: rate}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times = append(times, res.SpreadTime)
+		}
+		return stats.Mean(times)
+	}
+	m1 := mean(1, 100)
+	m2 := mean(2, 200)
+	ratio := m1 / m2
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Fatalf("rate-1 vs rate-2 mean ratio %v, want about 2", ratio)
+	}
+}
+
+func TestRunAsyncModeString(t *testing.T) {
+	if PushPull.String() != "push-pull" || PushOnly.String() != "push" || PullOnly.String() != "pull" {
+		t.Fatal("Mode.String wrong")
+	}
+	if Mode(42).String() == "" {
+		t.Fatal("unknown mode should still stringify")
+	}
+}
+
+func TestRunAsyncDynamicSequence(t *testing.T) {
+	// A network that is a disconnected matching for the first 3 steps and then
+	// a clique: the spread time must be at least 3.
+	rng := xrand.New(9)
+	matching := isolatedVertexGraph() // K4 plus isolated vertex 4
+	clique := gen.Clique(5)
+	seq := dynamic.NewSequence(repeatGraphs(matching, 3, clique))
+	res, err := RunAsync(seq, AsyncOptions{Start: 4}, rng) // start at the isolated vertex
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete after the clique appeared")
+	}
+	if res.SpreadTime < 3 {
+		t.Fatalf("spread time %v, but the start vertex was isolated until t=3", res.SpreadTime)
+	}
+}
+
+func TestCrossValidationAsyncVsNaive(t *testing.T) {
+	// The cut-rate simulator and the tick-by-tick simulator sample the same
+	// process; compare their spread-time distributions on several graphs.
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	cases := map[string]dynamic.Network{
+		"clique10": dynamic.NewStatic(gen.Clique(10)),
+		"star10":   dynamic.NewStatic(gen.Star(10, 0)),
+		"cycle12":  dynamic.NewStatic(gen.Cycle(12)),
+		"path8":    dynamic.NewStatic(gen.Path(8)),
+	}
+	const reps = 400
+	for name, net := range cases {
+		rngA := xrand.New(1000)
+		rngB := xrand.New(2000)
+		var fast, naive []float64
+		for i := 0; i < reps; i++ {
+			ra, err := RunAsync(net, AsyncOptions{Start: 0}, rngA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := RunAsyncNaive(net, AsyncOptions{Start: 0}, rngB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast = append(fast, ra.SpreadTime)
+			naive = append(naive, rb.SpreadTime)
+		}
+		d := stats.KSDistance(fast, naive)
+		// With 400 samples per side, a KS distance above ~0.12 would reject
+		// equality at far beyond the 1% level.
+		if d > 0.12 {
+			t.Errorf("%s: KS distance between simulators = %v (means %.3f vs %.3f)",
+				name, d, stats.Mean(fast), stats.Mean(naive))
+		}
+	}
+}
+
+func TestCrossValidationOnDynamicStar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	const reps = 300
+	var fast, naive []float64
+	for i := 0; i < reps; i++ {
+		rng := xrand.New(uint64(3000 + i))
+		netA, err := dynamic.NewDichotomyG2(12, rng.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := RunAsync(netA, AsyncOptions{Start: netA.StartVertex()}, rng.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast = append(fast, ra.SpreadTime)
+
+		rng2 := xrand.New(uint64(9000 + i))
+		netB, err := dynamic.NewDichotomyG2(12, rng2.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := RunAsyncNaive(netB, AsyncOptions{Start: netB.StartVertex()}, rng2.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive = append(naive, rb.SpreadTime)
+	}
+	if d := stats.KSDistance(fast, naive); d > 0.15 {
+		t.Errorf("dynamic star: KS distance %v (means %.3f vs %.3f)",
+			d, stats.Mean(fast), stats.Mean(naive))
+	}
+}
+
+func TestResultTimeToReach(t *testing.T) {
+	r := &Result{Trace: []TracePoint{{0, 1}, {1.5, 2}, {2.5, 3}}, N: 3}
+	if tm, ok := r.TimeToReach(2); !ok || tm != 1.5 {
+		t.Fatalf("TimeToReach(2) = (%v,%v)", tm, ok)
+	}
+	if _, ok := r.TimeToReach(5); ok {
+		t.Fatal("TimeToReach(5) should fail")
+	}
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// buildString returns a string of complete bipartite graphs S_0-...-S_k with
+// layer size delta, plus the layer structure.
+func buildString(k, delta int) (*graph.Graph, [][]int) {
+	n := (k + 1) * delta
+	b := graph.NewBuilder(n)
+	layers := make([][]int, k+1)
+	for i := 0; i <= k; i++ {
+		for j := 0; j < delta; j++ {
+			layers[i] = append(layers[i], i*delta+j)
+		}
+	}
+	for i := 0; i < k; i++ {
+		for _, u := range layers[i] {
+			for _, v := range layers[i+1] {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build(), layers
+}
+
+func TestForwardTwoPushBasic(t *testing.T) {
+	g, layers := buildString(3, 4)
+	rng := xrand.New(1)
+	res, err := RunForwardTwoPush(g, LayeredOptions{Layers: layers, Horizon: 100}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a huge horizon the rumor certainly reaches the last layer.
+	if !res.ReachedLast {
+		t.Fatal("forward 2-push did not reach the last layer despite a huge horizon")
+	}
+	if res.FirstReachTime <= 0 || res.FirstReachTime > 100 {
+		t.Fatalf("first reach time %v out of range", res.FirstReachTime)
+	}
+	if res.InformedPerLayer[0] != 4 {
+		t.Fatalf("layer 0 informed = %d, want 4", res.InformedPerLayer[0])
+	}
+}
+
+func TestForwardTwoPushLayerZeroOnlyGrowsForward(t *testing.T) {
+	g, layers := buildString(2, 3)
+	rng := xrand.New(2)
+	res, err := RunForwardTwoPush(g, LayeredOptions{Layers: layers, Horizon: 0.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.InformedPerLayer {
+		if c > len(layers[i]) {
+			t.Fatalf("layer %d informed %d exceeds its size %d", i, c, len(layers[i]))
+		}
+	}
+}
+
+func TestTwoPushOnLayersBasic(t *testing.T) {
+	g, layers := buildString(3, 4)
+	rng := xrand.New(3)
+	res, err := RunTwoPushOnLayers(g, LayeredOptions{Layers: layers, Horizon: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReachedLast {
+		t.Fatal("2-push did not reach the last layer despite a huge horizon")
+	}
+}
+
+func TestLayeredBadInput(t *testing.T) {
+	g, layers := buildString(2, 3)
+	rng := xrand.New(4)
+	if _, err := RunForwardTwoPush(g, LayeredOptions{Layers: layers[:1]}, rng); err != ErrBadLayers {
+		t.Fatalf("single layer error = %v, want ErrBadLayers", err)
+	}
+	if _, err := RunTwoPushOnLayers(g, LayeredOptions{Layers: [][]int{{0}, {}}}, rng); err != ErrBadLayers {
+		t.Fatalf("empty layer error = %v, want ErrBadLayers", err)
+	}
+	if _, err := RunForwardTwoPush(g, LayeredOptions{Layers: [][]int{{0}, {99}}}, rng); err != ErrBadLayers {
+		t.Fatalf("out-of-range vertex error = %v, want ErrBadLayers", err)
+	}
+	if _, err := RunForwardTwoPush(g, LayeredOptions{Layers: [][]int{{0, 1}, {1}}}, rng); err != ErrBadLayers {
+		t.Fatalf("duplicated vertex error = %v, want ErrBadLayers", err)
+	}
+}
+
+func TestLemma42ExpectedInformedAtLastLayer(t *testing.T) {
+	// Lemma 4.2: for the forward 2-push over k layers of size Δ, starting
+	// with S_0 fully informed, E[I(1,k)] <= (2^k / k!) · Δ.
+	if testing.Short() {
+		t.Skip("Monte-Carlo bound check")
+	}
+	const k, delta, reps = 5, 8, 3000
+	g, layers := buildString(k, delta)
+	rng := xrand.New(5)
+	sum := 0.0
+	for rep := 0; rep < reps; rep++ {
+		res, err := RunForwardTwoPush(g, LayeredOptions{Layers: layers, Horizon: 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(res.InformedPerLayer[k])
+	}
+	mean := sum / reps
+	wantBound := (32.0 / 120.0) * delta // 2^5/5! · Δ ≈ 2.13
+	// Allow Monte-Carlo slack of 3 standard errors on top of the bound.
+	if mean > wantBound*1.15+0.1 {
+		t.Fatalf("E[I(1,%d)] ≈ %.3f exceeds the Lemma 4.2 bound %.3f", k, mean, wantBound)
+	}
+}
+
+func TestClaim43ForwardDominatesTwoPushAtLastLayer(t *testing.T) {
+	// Claim 4.3: the probability that the 2-push reaches the last layer
+	// within one unit of time is at most the probability that the forward
+	// 2-push does. Compare empirical frequencies.
+	if testing.Short() {
+		t.Skip("Monte-Carlo coupling check")
+	}
+	const k, delta, reps = 3, 6, 2500
+	g, layers := buildString(k, delta)
+	rngF := xrand.New(6)
+	rngT := xrand.New(7)
+	reachedForward, reachedTwoPush := 0, 0
+	for rep := 0; rep < reps; rep++ {
+		rf, err := RunForwardTwoPush(g, LayeredOptions{Layers: layers, Horizon: 1}, rngF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf.ReachedLast {
+			reachedForward++
+		}
+		rt, err := RunTwoPushOnLayers(g, LayeredOptions{Layers: layers, Horizon: 1}, rngT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.ReachedLast {
+			reachedTwoPush++
+		}
+	}
+	pF := float64(reachedForward) / reps
+	pT := float64(reachedTwoPush) / reps
+	// Allow 3 standard errors of slack (~0.03 at these probabilities).
+	if pT > pF+0.04 {
+		t.Fatalf("2-push reach probability %.3f exceeds forward 2-push %.3f, contradicting Claim 4.3", pT, pF)
+	}
+}
+
+func TestForwardTwoPushGrowthMatchesInduction(t *testing.T) {
+	// The inductive bound in the proof of Lemma 4.2 gives
+	// E[I(1, i)] <= 2^i/i! · Δ for every layer i; check a couple of layers.
+	if testing.Short() {
+		t.Skip("Monte-Carlo bound check")
+	}
+	const k, delta, reps = 4, 6, 3000
+	g, layers := buildString(k, delta)
+	rng := xrand.New(8)
+	sums := make([]float64, k+1)
+	for rep := 0; rep < reps; rep++ {
+		res, err := RunForwardTwoPush(g, LayeredOptions{Layers: layers, Horizon: 1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range res.InformedPerLayer {
+			sums[i] += float64(c)
+		}
+	}
+	factorial := 1.0
+	power := 1.0
+	for i := 1; i <= k; i++ {
+		factorial *= float64(i)
+		power *= 2
+		mean := sums[i] / reps
+		boundVal := power / factorial * delta
+		if mean > boundVal*1.15+0.1 {
+			t.Errorf("layer %d: mean %.3f exceeds the inductive bound %.3f", i, mean, boundVal)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/eventq"
+	"dynamicrumor/internal/xrand"
+)
+
+// RunAsyncNaive simulates the asynchronous algorithm by explicitly generating
+// every clock tick of every vertex, exactly as in Definition 1: each vertex
+// owns an exponential clock (rate opts.ClockRate, default 1) and contacts a
+// uniformly random neighbor of the graph exposed at ⌊τ⌋ on each tick.
+//
+// This simulator is Θ(n · spread time) and exists to cross-validate the fast
+// cut-rate simulator (RunAsync) on small instances; they sample the same
+// process, so their spread-time distributions must agree.
+func RunAsyncNaive(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG) (*Result, error) {
+	n := net.N()
+	if opts.Start < 0 || opts.Start >= n {
+		return nil, ErrInvalidStart
+	}
+	mode := opts.Mode
+	if mode == 0 {
+		mode = PushPull
+	}
+	clockRate := opts.ClockRate
+	if clockRate <= 0 {
+		clockRate = 1
+	}
+	maxTime := opts.MaxTime
+	if maxTime <= 0 {
+		maxTime = 16 * float64(n) * float64(n)
+	}
+
+	informed := make([]bool, n)
+	informed[opts.Start] = true
+	res := &Result{N: n, Informed: 1}
+	if opts.RecordTrace {
+		res.Trace = append(res.Trace, TracePoint{Time: 0, Informed: 1})
+	}
+	if n <= 1 {
+		res.Completed = true
+		return res, nil
+	}
+
+	// Schedule the first tick of every vertex.
+	q := eventq.New(n)
+	for v := 0; v < n; v++ {
+		q.Push(v, rng.Exp(clockRate))
+	}
+
+	step := 0
+	g := net.GraphAt(0, informed)
+	for res.Informed < n {
+		v, tick, ok := q.Pop()
+		if !ok || tick > maxTime {
+			res.SpreadTime = tick
+			return res, nil
+		}
+		// Expose all graphs up to ⌊tick⌋.
+		for float64(step+1) <= tick {
+			step++
+			res.Steps++
+			g = net.GraphAt(step, informed)
+		}
+		// v contacts a uniformly random neighbor.
+		if d := g.Degree(v); d > 0 {
+			u := g.Neighbor(v, rng.Intn(d))
+			transferred := false
+			switch {
+			case informed[v] && !informed[u] && mode != PullOnly:
+				informed[u] = true
+				transferred = true
+			case !informed[v] && informed[u] && mode != PushOnly:
+				informed[v] = true
+				transferred = true
+			}
+			if transferred {
+				res.Informed++
+				res.Events++
+				if opts.RecordTrace {
+					res.Trace = append(res.Trace, TracePoint{Time: tick, Informed: res.Informed})
+				}
+				if res.Informed == n {
+					res.SpreadTime = tick
+					res.Completed = true
+					return res, nil
+				}
+			}
+		}
+		q.Push(v, tick+rng.Exp(clockRate))
+	}
+	res.Completed = true
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/xrand"
+)
+
+func TestRunAsyncNaiveCompletes(t *testing.T) {
+	rng := xrand.New(1)
+	nets := map[string]dynamic.Network{
+		"clique": dynamic.NewStatic(gen.Clique(12)),
+		"star":   dynamic.NewStatic(gen.Star(12, 0)),
+		"cycle":  dynamic.NewStatic(gen.Cycle(12)),
+	}
+	for name, net := range nets {
+		res, err := RunAsyncNaive(net, AsyncOptions{Start: 0, RecordTrace: true}, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Completed || res.Informed != net.N() {
+			t.Fatalf("%s: incomplete run %+v", name, res)
+		}
+		if res.SpreadTime <= 0 {
+			t.Fatalf("%s: non-positive spread time", name)
+		}
+	}
+}
+
+func TestRunAsyncNaiveSingleVertex(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(1))
+	res, err := RunAsyncNaive(net, AsyncOptions{Start: 0}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.SpreadTime != 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestRunAsyncNaiveMaxTime(t *testing.T) {
+	net := dynamic.NewStatic(gen.Path(100))
+	res, err := RunAsyncNaive(net, AsyncOptions{Start: 0, MaxTime: 0.5}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("naive run should have been cut off")
+	}
+}
+
+func TestRunAsyncNaiveModes(t *testing.T) {
+	rng := xrand.New(4)
+	net := dynamic.NewStatic(gen.Clique(10))
+	for _, mode := range []Mode{PushOnly, PullOnly, PushPull} {
+		res, err := RunAsyncNaive(net, AsyncOptions{Start: 0, Mode: mode}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("mode %v did not complete", mode)
+		}
+	}
+}
+
+func TestRunAsyncNaiveTwoVertexMeanIsHalf(t *testing.T) {
+	// Two vertices joined by an edge: each has a rate-1 clock and always
+	// contacts the other, so the first contact happens at an Exp(2) time with
+	// mean 1/2. This checks the clock mechanics of the naive simulator (and,
+	// via the cross-validation test, of the fast simulator too).
+	net := dynamic.NewStatic(gen.Path(2))
+	rng := xrand.New(5)
+	var times []float64
+	for rep := 0; rep < 4000; rep++ {
+		res, err := RunAsyncNaive(net, AsyncOptions{Start: 0}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.SpreadTime)
+	}
+	mean := stats.Mean(times)
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("two-vertex mean spread time %v, want about 0.5", mean)
+	}
+}
+
+func TestRunAsyncFastTwoVertexMeanIsHalf(t *testing.T) {
+	net := dynamic.NewStatic(gen.Path(2))
+	rng := xrand.New(6)
+	var times []float64
+	for rep := 0; rep < 4000; rep++ {
+		res, err := RunAsync(net, AsyncOptions{Start: 0}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.SpreadTime)
+	}
+	mean := stats.Mean(times)
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("two-vertex mean spread time %v, want about 0.5", mean)
+	}
+}
+
+func TestRunAsyncNaiveStepsAdvanceWithDynamicNetwork(t *testing.T) {
+	// A path that only becomes a clique at step 3: the naive simulator must
+	// cross at least 3 boundaries when started from an end of the path.
+	rng := xrand.New(7)
+	slow := gen.Path(6)
+	fast := gen.Clique(6)
+	seq := dynamic.NewSequence(repeatGraphs(slow, 3, fast))
+	res, err := RunAsyncNaive(seq, AsyncOptions{Start: 0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if res.Steps < 1 {
+		t.Fatal("expected at least one boundary crossing")
+	}
+}

@@ -1,0 +1,53 @@
+// Package sim implements the rumor-spreading processes studied by the paper:
+// the asynchronous push-pull algorithm (Definition 1) simulated exactly via
+// its informative-contact rates, a naive clock-tick simulator used for
+// cross-validation, the synchronous push-pull algorithm, push-only and
+// pull-only variants, and flooding.
+package sim
+
+// TracePoint records the number of informed vertices at a point in time.
+type TracePoint struct {
+	Time     float64
+	Informed int
+}
+
+// Result describes one execution of a rumor-spreading process.
+type Result struct {
+	// SpreadTime is the time at which the last vertex became informed.
+	// For synchronous processes it is the (integer) number of rounds.
+	SpreadTime float64
+	// Informed is the number of informed vertices when the run ended.
+	Informed int
+	// N is the number of vertices in the network.
+	N int
+	// Completed is true if every vertex was informed before the time limit.
+	Completed bool
+	// Steps is the number of integer time boundaries crossed (i.e. how many
+	// graphs of the dynamic network were exposed to the process).
+	Steps int
+	// Events is the number of informative contacts (asynchronous processes)
+	// or the total number of newly informed vertices (synchronous processes).
+	Events int
+	// Trace, if recorded, holds one point per newly informed vertex.
+	Trace []TracePoint
+}
+
+// Coverage returns the fraction of informed vertices at the end of the run.
+func (r *Result) Coverage() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.Informed) / float64(r.N)
+}
+
+// TimeToReach returns the earliest traced time at which at least count
+// vertices were informed, and whether that count was reached. It requires the
+// run to have been executed with trace recording enabled.
+func (r *Result) TimeToReach(count int) (float64, bool) {
+	for _, p := range r.Trace {
+		if p.Informed >= count {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}

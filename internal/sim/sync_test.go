@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/xrand"
+)
+
+func TestRunSyncSingleVertex(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(1))
+	res, err := RunSync(net, SyncOptions{Start: 0}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.SpreadTime != 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestRunSyncInvalidStart(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(4))
+	if _, err := RunSync(net, SyncOptions{Start: 4}, xrand.New(1)); err != ErrInvalidStart {
+		t.Fatalf("error = %v, want ErrInvalidStart", err)
+	}
+	if _, err := RunFlooding(net, SyncOptions{Start: -1}, xrand.New(1)); err != ErrInvalidStart {
+		t.Fatalf("flooding error = %v, want ErrInvalidStart", err)
+	}
+}
+
+func TestRunSyncCliqueLogarithmicRounds(t *testing.T) {
+	rng := xrand.New(2)
+	const n = 256
+	net := dynamic.NewStatic(gen.Clique(n))
+	var rounds []float64
+	for rep := 0; rep < 20; rep++ {
+		res, err := RunSync(net, SyncOptions{Start: 0}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("did not complete")
+		}
+		rounds = append(rounds, res.SpreadTime)
+	}
+	mean := stats.Mean(rounds)
+	log2n := math.Log2(float64(n))
+	if mean < log2n/2 || mean > 4*log2n {
+		t.Fatalf("clique sync rounds %v, want Θ(log n) ≈ %v", mean, log2n)
+	}
+}
+
+func TestRunSyncTwoVertices(t *testing.T) {
+	// Two vertices joined by an edge: the first round always informs the
+	// other vertex (push or pull), so the spread time is exactly 1.
+	net := dynamic.NewStatic(gen.Path(2))
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := RunSync(net, SyncOptions{Start: 0}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SpreadTime != 1 {
+			t.Fatalf("seed %d: spread time %v, want 1", seed, res.SpreadTime)
+		}
+	}
+}
+
+func TestRunSyncStartOfRoundSemantics(t *testing.T) {
+	// Path 0-1-2, start at 0. In round 1 vertex 1 gets informed (push from 0
+	// or pull by 1), but vertex 2 cannot learn in the same round because
+	// exchanges use the start-of-round informed set. So the spread time is at
+	// least 2.
+	net := dynamic.NewStatic(gen.Path(3))
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := RunSync(net, SyncOptions{Start: 0}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SpreadTime < 2 {
+			t.Fatalf("seed %d: spread time %v < 2 violates round semantics", seed, res.SpreadTime)
+		}
+	}
+}
+
+func TestRunSyncDynamicStarTakesExactlyNRounds(t *testing.T) {
+	// Theorem 1.7(ii): on the dynamic star G2 the synchronous algorithm needs
+	// exactly n rounds (one new vertex per round).
+	for _, n := range []int{8, 16, 32} {
+		rng := xrand.New(uint64(n))
+		net, err := dynamic.NewDichotomyG2(n, rng.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSync(net, SyncOptions{Start: net.StartVertex()}, rng.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("n=%d: did not complete", n)
+		}
+		if res.SpreadTime != float64(n) {
+			t.Fatalf("n=%d: sync spread time %v, want exactly n", n, res.SpreadTime)
+		}
+	}
+}
+
+func TestRunSyncMaxRounds(t *testing.T) {
+	rng := xrand.New(3)
+	net := dynamic.NewStatic(gen.Path(100))
+	res, err := RunSync(net, SyncOptions{Start: 0, MaxRounds: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("should not have completed in 3 rounds on a long path")
+	}
+	if res.SpreadTime != 3 {
+		t.Fatalf("spread time %v, want 3 (the cutoff)", res.SpreadTime)
+	}
+}
+
+func TestRunSyncModes(t *testing.T) {
+	rng := xrand.New(4)
+	net := dynamic.NewStatic(gen.Clique(32))
+	for _, mode := range []Mode{PushOnly, PullOnly, PushPull} {
+		res, err := RunSync(net, SyncOptions{Start: 0, Mode: mode, RecordTrace: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("mode %v did not complete", mode)
+		}
+		if len(res.Trace) == 0 {
+			t.Fatalf("mode %v: trace empty", mode)
+		}
+	}
+}
+
+func TestRunSyncPushOnlySlowerThanPushPullOnStar(t *testing.T) {
+	// On a static star started at a leaf, push-only needs the center to
+	// contact every leaf (coupon collector, Θ(n log n) rounds), while
+	// push-pull needs Θ(log n) because leaves pull. Compare medians.
+	const n = 24
+	net := dynamic.NewStatic(gen.Star(n, 0))
+	median := func(mode Mode, seed uint64) float64 {
+		rng := xrand.New(seed)
+		var rounds []float64
+		for rep := 0; rep < 15; rep++ {
+			res, err := RunSync(net, SyncOptions{Start: 1, Mode: mode}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rounds = append(rounds, res.SpreadTime)
+		}
+		return stats.Quantile(rounds, 0.5)
+	}
+	pushOnly := median(PushOnly, 10)
+	pushPull := median(PushPull, 20)
+	if pushOnly <= pushPull {
+		t.Fatalf("push-only median %v should exceed push-pull median %v on a star", pushOnly, pushPull)
+	}
+}
+
+func TestRunFloodingPath(t *testing.T) {
+	// Flooding on a path from one end takes exactly n-1 rounds.
+	const n = 17
+	net := dynamic.NewStatic(gen.Path(n))
+	res, err := RunFlooding(net, SyncOptions{Start: 0}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.SpreadTime != float64(n-1) {
+		t.Fatalf("flooding on path: %+v, want spread time %d", res, n-1)
+	}
+}
+
+func TestRunFloodingClique(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(10))
+	res, err := RunFlooding(net, SyncOptions{Start: 3}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpreadTime != 1 {
+		t.Fatalf("flooding on clique took %v rounds, want 1", res.SpreadTime)
+	}
+}
+
+func TestRunFloodingMaxRounds(t *testing.T) {
+	net := dynamic.NewStatic(gen.Path(50))
+	res, err := RunFlooding(net, SyncOptions{Start: 0, MaxRounds: 5, RecordTrace: true}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.Informed != 6 {
+		t.Fatalf("flooding cut off: %+v, want 6 informed after 5 rounds", res)
+	}
+}
+
+func TestRunFloodingSingleVertex(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(1))
+	res, err := RunFlooding(net, SyncOptions{Start: 0}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("single vertex should complete immediately")
+	}
+}
+
+func TestRunSyncFasterThanAsyncOnG1(t *testing.T) {
+	// Theorem 1.7(i): on G1 the synchronous algorithm is Θ(log n) while the
+	// asynchronous one takes Ω(n) time with constant probability (whenever
+	// the pendant edge stays silent during [0,1)). Check that a constant
+	// fraction of async runs reach the Ω(n) scale while every sync run stays
+	// logarithmic.
+	const n = 200
+	const reps = 30
+	slowAsync := 0
+	var syncTimes []float64
+	for rep := 0; rep < reps; rep++ {
+		rng := xrand.New(uint64(100 + rep))
+		net, err := dynamic.NewDichotomyG1(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := RunSync(net, SyncOptions{Start: net.StartVertex()}, rng.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		syncTimes = append(syncTimes, rs.SpreadTime)
+
+		net2, err := dynamic.NewDichotomyG1(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := RunAsync(net2, AsyncOptions{Start: net2.StartVertex()}, rng.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.SpreadTime >= float64(n)/20 {
+			slowAsync++
+		}
+	}
+	if slowAsync < 3 {
+		t.Fatalf("only %d of %d async runs reached the Ω(n) scale on G1", slowAsync, reps)
+	}
+	if m := stats.Mean(syncTimes); m > 4*math.Log2(float64(n))+5 {
+		t.Fatalf("sync mean %v on G1 is not Θ(log n)", m)
+	}
+}
+
+func TestRunAsyncFasterThanSyncOnG2(t *testing.T) {
+	// Theorem 1.7(ii): on the dynamic star the asynchronous algorithm is
+	// Θ(log n) while the synchronous one needs n rounds.
+	const n = 64
+	var syncTimes, asyncTimes []float64
+	for rep := 0; rep < 10; rep++ {
+		rng := xrand.New(uint64(200 + rep))
+		netS, err := dynamic.NewDichotomyG2(n, rng.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := RunSync(netS, SyncOptions{Start: netS.StartVertex()}, rng.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		syncTimes = append(syncTimes, rs.SpreadTime)
+
+		netA, err := dynamic.NewDichotomyG2(n, rng.Split(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := RunAsync(netA, AsyncOptions{Start: netA.StartVertex()}, rng.Split(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		asyncTimes = append(asyncTimes, ra.SpreadTime)
+	}
+	if stats.Mean(asyncTimes) >= stats.Mean(syncTimes) {
+		t.Fatalf("async mean %v should be far below sync mean %v on the dynamic star",
+			stats.Mean(asyncTimes), stats.Mean(syncTimes))
+	}
+}

@@ -1,0 +1,198 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+func TestCutConductanceSimple(t *testing.T) {
+	g := gen.Path(4) // 0-1-2-3
+	phi, err := CutConductance(g, []bool{true, true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cut = 1, vol(S) = 1+2 = 3, vol(S̄) = 3, so phi = 1/3.
+	if math.Abs(phi-1.0/3) > 1e-12 {
+		t.Fatalf("phi = %v, want 1/3", phi)
+	}
+}
+
+func TestCutConductanceZeroVolumeSide(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := CutConductance(g, []bool{false, false, false}); err == nil {
+		t.Fatal("expected error for empty side")
+	}
+}
+
+func TestExactConductanceClique(t *testing.T) {
+	// For K_n the minimizing cut is the balanced bisection:
+	// Φ(K_n) = ceil(n/2)*floor(n/2) / (floor(n/2)*(n-1)).
+	for _, n := range []int{4, 5, 6, 8} {
+		g := gen.Clique(n)
+		phi, err := ExactConductance(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := n/2, (n+1)/2
+		want := float64(lo*hi) / float64(lo*(n-1))
+		if math.Abs(phi-want) > 1e-12 {
+			t.Fatalf("Φ(K_%d) = %v, want %v", n, phi, want)
+		}
+	}
+}
+
+func TestExactConductanceCycle(t *testing.T) {
+	// For an even cycle the minimizing cut is a half-cycle: 2 cut edges over
+	// volume n, so Φ = 2/n.
+	for _, n := range []int{6, 8, 10} {
+		g := gen.Cycle(n)
+		phi, err := ExactConductance(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2.0 / float64(n)
+		if math.Abs(phi-want) > 1e-12 {
+			t.Fatalf("Φ(C_%d) = %v, want %v", n, phi, want)
+		}
+	}
+}
+
+func TestExactConductanceStar(t *testing.T) {
+	// For the star, any set S of k <= (n-1)/2 leaves has vol(S)=k and cut k,
+	// so Φ = 1.
+	g := gen.Star(9, 0)
+	phi, err := ExactConductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != 1 {
+		t.Fatalf("Φ(star) = %v, want 1", phi)
+	}
+}
+
+func TestExactConductanceBarbell(t *testing.T) {
+	// Two K_5 joined by one edge: the bridge cut has 1 edge and each side has
+	// volume 5*4+1 = 21, so Φ = 1/21.
+	g := gen.Barbell(5)
+	phi, err := ExactConductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi-1.0/21) > 1e-12 {
+		t.Fatalf("Φ(barbell) = %v, want 1/21", phi)
+	}
+}
+
+func TestExactConductanceDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	phi, err := ExactConductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != 0 {
+		t.Fatalf("Φ(disconnected) = %v, want 0", phi)
+	}
+}
+
+func TestExactConductanceErrors(t *testing.T) {
+	if _, err := ExactConductance(graph.FromEdges(3, nil)); err != ErrNoEdges {
+		t.Fatalf("edgeless error = %v, want ErrNoEdges", err)
+	}
+	if _, err := ExactConductance(gen.Cycle(30)); err != ErrTooLarge {
+		t.Fatalf("large graph error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEstimateMatchesExactOnSmallGraphs(t *testing.T) {
+	rng := xrand.New(99)
+	graphs := map[string]*graph.Graph{
+		"clique8":   gen.Clique(8),
+		"cycle12":   gen.Cycle(12),
+		"star10":    gen.Star(10, 0),
+		"hypercube": gen.Hypercube(4),
+		"barbell6":  gen.Barbell(6),
+		"er":        gen.RandomConnected(14, 0.4, rng),
+	}
+	for name, g := range graphs {
+		exact, err := ExactConductance(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		est, err := EstimateConductance(g, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Sweep cut is a genuine cut, so it upper-bounds the optimum.
+		if est.SweepConductance < exact-1e-9 {
+			t.Errorf("%s: sweep %v below exact %v", name, est.SweepConductance, exact)
+		}
+		// Cheeger lower bound must not exceed the true conductance (allow a
+		// tiny numerical slack from power iteration).
+		if est.LowerBound > exact+0.05 {
+			t.Errorf("%s: spectral lower bound %v above exact %v", name, est.LowerBound, exact)
+		}
+		// Cheeger upper bound: exact <= sqrt(2*gap) when the gap estimate is
+		// accurate; allow slack for power-iteration error.
+		if exact > math.Sqrt(2*est.SpectralGap)+0.1 {
+			t.Errorf("%s: exact %v above Cheeger upper bound %v", name, exact, math.Sqrt(2*est.SpectralGap))
+		}
+	}
+}
+
+func TestEstimateExpanderHasLargeConductance(t *testing.T) {
+	rng := xrand.New(123)
+	g := gen.Expander(500, 6, rng)
+	est, err := EstimateConductance(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SweepConductance < 0.05 {
+		t.Fatalf("expander sweep conductance %v suspiciously small", est.SweepConductance)
+	}
+}
+
+func TestEstimateBarbellHasSmallConductance(t *testing.T) {
+	g := gen.Barbell(50)
+	est, err := EstimateConductance(g, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true conductance is 1/(50*49+1) ≈ 4e-4; the sweep cut should find
+	// something at most a small constant.
+	if est.SweepConductance > 0.01 {
+		t.Fatalf("barbell sweep conductance %v too large", est.SweepConductance)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := EstimateConductance(graph.FromEdges(5, nil), 10); err != ErrNoEdges {
+		t.Fatalf("error = %v, want ErrNoEdges", err)
+	}
+}
+
+func TestEstimateDefaultIterations(t *testing.T) {
+	if _, err := EstimateConductance(gen.Cycle(10), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepConductanceIsValidCutProperty(t *testing.T) {
+	rng := xrand.New(321)
+	for trial := 0; trial < 20; trial++ {
+		g := gen.RandomConnected(30, 0.15, rng)
+		est, err := EstimateConductance(g, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.SweepConductance < 0 || est.SweepConductance > 1+1e-9 {
+			t.Fatalf("trial %d: sweep conductance %v outside [0,1]", trial, est.SweepConductance)
+		}
+		if est.SpectralGap < 0 || est.SpectralGap > 2 {
+			t.Fatalf("trial %d: spectral gap %v outside [0,2]", trial, est.SpectralGap)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package rumor
+
+import (
+	"dynamicrumor/internal/analysis"
+)
+
+// CurvePoint is one point of an aggregated spread curve (informed fraction
+// over time, averaged across runs with a min/max envelope).
+type CurvePoint = analysis.CurvePoint
+
+// SpreadCurve aggregates the traces of several runs (executed with
+// RecordTrace enabled) into a curve of the informed fraction over time,
+// sampled at `points` evenly spaced times.
+func SpreadCurve(results []*Result, points int) ([]CurvePoint, error) {
+	return analysis.Curve(results, points)
+}
+
+// TimeToFraction returns, per run, the earliest time at which the informed
+// fraction reached the target, and how many runs reached it.
+func TimeToFraction(results []*Result, fraction float64) (times []float64, reached int) {
+	return analysis.TimeToFraction(results, fraction)
+}
+
+// TimeToFractionQuantiles summarizes TimeToFraction into its median and
+// 0.9-quantile.
+func TimeToFractionQuantiles(results []*Result, fraction float64) (median, q90 float64, err error) {
+	return analysis.FractionQuantiles(results, fraction)
+}
+
+// ExponentialGrowthRate fits the early phase of a traced run to exponential
+// growth I(t) ≈ e^{λt} and returns λ (≈2 for push-pull on well-connected
+// graphs, much smaller across bottlenecks).
+func ExponentialGrowthRate(r *Result) (float64, error) {
+	return analysis.ExponentialGrowthRate(r)
+}

@@ -1,0 +1,35 @@
+package rumor
+
+import (
+	"dynamicrumor/internal/experiment"
+)
+
+// ExperimentTable is a rendered experiment result (text/CSV renderable).
+type ExperimentTable = experiment.Table
+
+// ExperimentConfig controls experiment cost and determinism.
+type ExperimentConfig = experiment.Config
+
+// DefaultExperimentConfig is the configuration used for the full paper
+// reproduction.
+func DefaultExperimentConfig() ExperimentConfig { return experiment.DefaultConfig() }
+
+// QuickExperimentConfig is a reduced configuration suitable for tests and CI.
+func QuickExperimentConfig() ExperimentConfig { return experiment.QuickConfig() }
+
+// ExperimentIDs lists the registered experiments (E1..E11), one per theorem,
+// observation or figure of the paper.
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// ExperimentTitle returns the title of a registered experiment.
+func ExperimentTitle(id string) (string, bool) { return experiment.Title(id) }
+
+// RunExperiment executes one experiment by ID.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
+	return experiment.Run(id, cfg)
+}
+
+// RunAllExperiments executes every experiment in ID order.
+func RunAllExperiments(cfg ExperimentConfig) ([]*ExperimentTable, error) {
+	return experiment.RunAll(cfg)
+}
