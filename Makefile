@@ -1,0 +1,29 @@
+# Development targets for the dynamicrumor module. `make check` is the tier-1
+# gate that CI runs on every push (see .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run NONE -bench 'BenchmarkMonteCarlo' -benchmem .
+	$(GO) test -run NONE -bench 'Async|Sync|Flooding|Conductance|GNRho' -benchmem .
+
+check: build vet test
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,8 @@ package dynamicrumor_test
 // performance regressions in the hot paths are visible.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"dynamicrumor/rumor"
@@ -48,6 +50,45 @@ func BenchmarkE9Lemma52RegularUnitTime(b *testing.B)     { benchmarkExperiment(b
 func BenchmarkE10RelatedWorkMG(b *testing.B)             { benchmarkExperiment(b, "E10") }
 func BenchmarkE11Corollary16Combined(b *testing.B)       { benchmarkExperiment(b, "E11") }
 func BenchmarkE12Lemma42StringCrossing(b *testing.B)     { benchmarkExperiment(b, "E12") }
+
+// Monte-Carlo engine: serial vs parallel fan-out over the repetitions of a
+// single experiment. The workload (E6, the dynamic-star tail experiment with
+// the repetition count raised to 96) is dominated by independent simulation
+// runs, so on an m-core machine the workers=GOMAXPROCS variant should
+// approach an m× wall-clock speedup over workers=1; tables are bit-identical
+// either way. These two benchmarks are the BENCH trajectory anchors for the
+// parallel runner.
+
+func benchmarkMonteCarlo(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg := benchConfig()
+	cfg.Reps = 96
+	cfg.Parallelism = parallelism
+	for i := 0; i < b.N; i++ {
+		tbl, err := rumor.RunExperiment("E6", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tbl.Passed {
+			b.Fatalf("E6 failed its shape checks:\n%s", tbl.Text())
+		}
+	}
+}
+
+func BenchmarkMonteCarloSerial(b *testing.B) { benchmarkMonteCarlo(b, 1) }
+
+func BenchmarkMonteCarloParallel(b *testing.B) { benchmarkMonteCarlo(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkMonteCarloWorkers sweeps the worker count to expose the scaling
+// curve (flat on a single-core machine, ~linear up to the core count
+// otherwise).
+func BenchmarkMonteCarloWorkers(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			benchmarkMonteCarlo(b, p)
+		})
+	}
+}
 
 // Simulator micro-benchmarks (hot paths of the harness).
 

@@ -31,6 +31,7 @@ func run(args []string, out *os.File) error {
 	quick := fs.Bool("quick", false, "use reduced problem sizes")
 	seed := fs.Uint64("seed", 0, "override the random seed (0 keeps the default)")
 	reps := fs.Int("reps", 0, "override the repetition count (0 keeps per-experiment defaults)")
+	parallel := fs.Int("parallel", 0, "Monte-Carlo worker goroutines (0 means GOMAXPROCS; results are identical for any value)")
 	csv := fs.Bool("csv", false, "also print each table as CSV")
 	list := fs.Bool("list", false, "list available experiments and exit")
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +56,7 @@ func run(args []string, out *os.File) error {
 	if *reps != 0 {
 		cfg.Reps = *reps
 	}
+	cfg.Parallelism = *parallel
 
 	ids := rumor.ExperimentIDs()
 	if *idFlag != "all" {

@@ -6,6 +6,7 @@
 //	rumorsim -family clique -n 1000 -algo async -reps 20
 //	rumorsim -family dynamic-star -n 500 -algo sync
 //	rumorsim -family gnrho -n 1024 -rho 0.25 -algo async -reps 8
+//	rumorsim -family expander -n 5000 -reps 64 -parallel 8
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"dynamicrumor/internal/runner"
 	"dynamicrumor/rumor"
 )
 
@@ -25,15 +27,16 @@ func main() {
 }
 
 type options struct {
-	family string
-	algo   string
-	n      int
-	rho    float64
-	p      float64
-	q      float64
-	reps   int
-	seed   uint64
-	trace  bool
+	family   string
+	algo     string
+	n        int
+	rho      float64
+	p        float64
+	q        float64
+	reps     int
+	parallel int
+	seed     uint64
+	trace    bool
 }
 
 func run(args []string) error {
@@ -48,6 +51,7 @@ func run(args []string) error {
 	fs.Float64Var(&opts.p, "p", 0.05, "edge birth probability (edge-markovian) or ER edge probability")
 	fs.Float64Var(&opts.q, "q", 0.5, "edge death probability (edge-markovian)")
 	fs.IntVar(&opts.reps, "reps", 10, "number of repetitions")
+	fs.IntVar(&opts.parallel, "parallel", 0, "worker goroutines for the repetitions (0 means GOMAXPROCS; results are identical for any value)")
 	fs.Uint64Var(&opts.seed, "seed", 1, "random seed")
 	fs.BoolVar(&opts.trace, "trace", false, "print the informed-count trace of the first run")
 	if err := fs.Parse(args); err != nil {
@@ -64,26 +68,31 @@ func run(args []string) error {
 
 func simulate(opts options, out *os.File) error {
 	root := rumor.NewRNG(opts.seed)
+	// Fan the repetitions out across -parallel workers; each draws from a
+	// private stream of the seed, so the statistics below are identical for
+	// every worker count.
+	results, err := runner.Map(opts.parallel, opts.reps, root,
+		func(rep int, rng *rumor.RNG) (*rumor.Result, error) {
+			net, start, err := buildNetwork(opts, rng.Split(1))
+			if err != nil {
+				return nil, err
+			}
+			return runAlgo(opts, net, start, rng.Split(2), rep == 0 && opts.trace)
+		})
+	if err != nil {
+		return err
+	}
 	var times []float64
 	completedAll := true
-	for rep := 0; rep < opts.reps; rep++ {
-		rng := root.Split(uint64(rep) + 1)
-		net, start, err := buildNetwork(opts, rng.Split(1))
-		if err != nil {
-			return err
-		}
-		res, err := runAlgo(opts, net, start, rng.Split(2), rep == 0 && opts.trace)
-		if err != nil {
-			return err
-		}
+	for _, res := range results {
 		if !res.Completed {
 			completedAll = false
 		}
 		times = append(times, res.SpreadTime)
-		if rep == 0 && opts.trace {
-			for _, p := range res.Trace {
-				fmt.Fprintf(out, "trace t=%.4f informed=%d\n", p.Time, p.Informed)
-			}
+	}
+	if opts.trace {
+		for _, p := range results[0].Trace {
+			fmt.Fprintf(out, "trace t=%.4f informed=%d\n", p.Time, p.Informed)
 		}
 	}
 	mean, min, max := 0.0, times[0], times[0]

@@ -1,0 +1,3 @@
+module dynamicrumor
+
+go 1.24.0

@@ -16,6 +16,12 @@ type Config struct {
 	Reps int
 	// Quick selects reduced problem sizes, suitable for unit tests and CI.
 	Quick bool
+	// Parallelism is the number of worker goroutines used for Monte-Carlo
+	// repetitions (0 or negative means runtime.GOMAXPROCS(0)). Results are
+	// bit-identical for every value: each repetition draws from a private
+	// RNG stream derived from Seed, so parallelism only affects wall-clock
+	// time (see internal/runner and DESIGN.md).
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments for the

@@ -38,11 +38,11 @@ func RunE10(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("alternating network n=%d: %w", n, err)
 		}
 		factory := staticFactory(net, 0)
-		asyncTimes, err := measureAsync(factory, reps, rng.Split(2), 0)
+		asyncTimes, err := measureAsync(cfg, factory, reps, rng.Split(2), 0)
 		if err != nil {
 			return nil, fmt.Errorf("async n=%d: %w", n, err)
 		}
-		syncTimes, err := measureSync(factory, reps, rng.Split(3), 0)
+		syncTimes, err := measureSync(cfg, factory, reps, rng.Split(3), 0)
 		if err != nil {
 			return nil, fmt.Errorf("sync n=%d: %w", n, err)
 		}

@@ -42,7 +42,7 @@ func RunE11(cfg Config) (*Table, error) {
 		}
 		return net, net.StartVertex(), nil
 	}
-	starTimes, err := measureAsync(starFactory, reps, rng.Split(1), 0)
+	starTimes, err := measureAsync(cfg, starFactory, reps, rng.Split(1), 0)
 	if err != nil {
 		return nil, fmt.Errorf("dynamic star: %w", err)
 	}
@@ -89,7 +89,7 @@ func RunE11(cfg Config) (*Table, error) {
 		}
 		return net, net.StartVertex(), nil
 	}
-	botTimes, err := measureAsync(bottleneckFactory, reps, rng2.Split(2), 0)
+	botTimes, err := measureAsync(cfg, bottleneckFactory, reps, rng2.Split(2), 0)
 	if err != nil {
 		return nil, fmt.Errorf("AbsGNRho runs: %w", err)
 	}

@@ -5,7 +5,9 @@ import (
 	"math"
 
 	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/xrand"
 )
 
 // RunE12 reproduces Lemma 4.2 and Claim 4.3: on the string of complete
@@ -37,23 +39,36 @@ func RunE12(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var sumLast float64
-		reachedFwd, reachedTwoPush := 0, 0
-		for rep := 0; rep < reps; rep++ {
-			sub := rng.Split(uint64(rep) + 1)
+		type crossing struct {
+			last         float64
+			fwd, twoPush bool
+		}
+		crossings, err := runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (crossing, error) {
 			fw, err := sim.RunForwardTwoPush(g, sim.LayeredOptions{Layers: layers, Horizon: 1}, sub.Split(1))
 			if err != nil {
-				return nil, fmt.Errorf("forward 2-push: %w", err)
-			}
-			sumLast += float64(fw.InformedPerLayer[inst.k])
-			if fw.ReachedLast {
-				reachedFwd++
+				return crossing{}, fmt.Errorf("forward 2-push: %w", err)
 			}
 			tp, err := sim.RunTwoPushOnLayers(g, sim.LayeredOptions{Layers: layers, Horizon: 1}, sub.Split(2))
 			if err != nil {
-				return nil, fmt.Errorf("2-push: %w", err)
+				return crossing{}, fmt.Errorf("2-push: %w", err)
 			}
-			if tp.ReachedLast {
+			return crossing{
+				last:    float64(fw.InformedPerLayer[inst.k]),
+				fwd:     fw.ReachedLast,
+				twoPush: tp.ReachedLast,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sumLast float64
+		reachedFwd, reachedTwoPush := 0, 0
+		for _, c := range crossings {
+			sumLast += c.last
+			if c.fwd {
+				reachedFwd++
+			}
+			if c.twoPush {
 				reachedTwoPush++
 			}
 		}

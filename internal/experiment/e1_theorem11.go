@@ -91,7 +91,7 @@ func RunE1(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("family %s n=%d: %w", fam.name, n, err)
 			}
-			times, err := measureAsync(factory, reps, rng.Split(4), 0)
+			times, err := measureAsync(cfg, factory, reps, rng.Split(4), 0)
 			if err != nil {
 				return nil, fmt.Errorf("family %s n=%d: %w", fam.name, n, err)
 			}

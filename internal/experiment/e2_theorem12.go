@@ -47,7 +47,7 @@ func RunE2(cfg Config) (*Table, error) {
 			}
 			return net, net.StartVertex(), nil
 		}
-		times, err := measureAsync(factory, reps, rng.Split(2), 0)
+		times, err := measureAsync(cfg, factory, reps, rng.Split(2), 0)
 		if err != nil {
 			return nil, fmt.Errorf("GNRho(n=%d, rho=%v): %w", n, rho, err)
 		}

@@ -43,7 +43,7 @@ func RunE3(cfg Config) (*Table, error) {
 			}
 			return net, net.StartVertex(), nil
 		}
-		times, err := measureAsync(factory, reps, rng.Split(2), 0)
+		times, err := measureAsync(cfg, factory, reps, rng.Split(2), 0)
 		if err != nil {
 			return nil, fmt.Errorf("AbsGNRho(n=%d): %w", n, err)
 		}

@@ -47,7 +47,7 @@ func RunE4(cfg Config) (*Table, error) {
 			}
 			return net, net.StartVertex(), nil
 		}
-		times, err := measureAsync(factory, reps, rng.Split(2), 0)
+		times, err := measureAsync(cfg, factory, reps, rng.Split(2), 0)
 		if err != nil {
 			return nil, fmt.Errorf("AbsGNRho(n=%d, rho=%v): %w", n, rho, err)
 		}

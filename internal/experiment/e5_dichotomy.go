@@ -50,11 +50,11 @@ func RunE5(cfg Config) (*Table, error) {
 			}
 			return net, net.StartVertex(), nil
 		}
-		g1Async, err := measureAsync(g1Factory, g1Reps, rng.Split(1), 0)
+		g1Async, err := measureAsync(cfg, g1Factory, g1Reps, rng.Split(1), 0)
 		if err != nil {
 			return nil, fmt.Errorf("G1 async n=%d: %w", n, err)
 		}
-		g1Sync, err := measureSync(g1Factory, reps, rng.Split(2), 0)
+		g1Sync, err := measureSync(cfg, g1Factory, reps, rng.Split(2), 0)
 		if err != nil {
 			return nil, fmt.Errorf("G1 sync n=%d: %w", n, err)
 		}
@@ -96,11 +96,11 @@ func RunE5(cfg Config) (*Table, error) {
 			}
 			return net, net.StartVertex(), nil
 		}
-		g2Async, err := measureAsync(g2Factory, reps, rng.Split(3), 0)
+		g2Async, err := measureAsync(cfg, g2Factory, reps, rng.Split(3), 0)
 		if err != nil {
 			return nil, fmt.Errorf("G2 async n=%d: %w", n, err)
 		}
-		g2Sync, err := measureSync(g2Factory, reps, rng.Split(4), 0)
+		g2Sync, err := measureSync(cfg, g2Factory, reps, rng.Split(4), 0)
 		if err != nil {
 			return nil, fmt.Errorf("G2 sync n=%d: %w", n, err)
 		}

@@ -5,8 +5,10 @@ import (
 	"math"
 
 	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/sim"
 	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/xrand"
 )
 
 // RunE6 reproduces Theorem 1.7(iii): on the dynamic star the asynchronous
@@ -27,18 +29,19 @@ func RunE6(cfg Config) (*Table, error) {
 	}
 
 	rng := cfg.rng(600)
-	times := make([]float64, 0, reps)
-	for rep := 0; rep < reps; rep++ {
-		sub := rng.Split(uint64(rep) + 1)
+	times, err := runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (float64, error) {
 		net, err := dynamic.NewDichotomyG2(n, sub.Split(1))
 		if err != nil {
-			return nil, fmt.Errorf("dynamic star: %w", err)
+			return 0, fmt.Errorf("dynamic star: %w", err)
 		}
 		res, err := sim.RunAsync(net, sim.AsyncOptions{Start: net.StartVertex()}, sub.Split(2))
 		if err != nil {
-			return nil, fmt.Errorf("async run: %w", err)
+			return 0, fmt.Errorf("async run: %w", err)
 		}
-		times = append(times, res.SpreadTime)
+		return res.SpreadTime, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Theorem 1.7(iii) carries -o(1) corrections in both exponents: at finite

@@ -5,8 +5,10 @@ import (
 
 	"dynamicrumor/internal/dynamic"
 	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/sim"
 	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/xrand"
 )
 
 // RunE9 reproduces Lemma 5.2: on a Δ-regular graph, starting from a single
@@ -39,15 +41,18 @@ func RunE9(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("regular graph n=%d d=%d: %w", inst.n, inst.delta, err)
 		}
 		net := dynamic.NewStatic(g)
-		counts := make([]float64, 0, reps)
-		maxSeen := 0.0
-		for rep := 0; rep < reps; rep++ {
-			res, err := sim.RunAsync(net, sim.AsyncOptions{Start: rep % inst.n, MaxTime: 1}, rng.Split(uint64(rep)+1))
+		counts, err := runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (float64, error) {
+			res, err := sim.RunAsync(net, sim.AsyncOptions{Start: rep % inst.n, MaxTime: 1}, sub)
 			if err != nil {
-				return nil, fmt.Errorf("async run: %w", err)
+				return 0, fmt.Errorf("async run: %w", err)
 			}
-			c := float64(res.Informed)
-			counts = append(counts, c)
+			return float64(res.Informed), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxSeen := 0.0
+		for _, c := range counts {
 			if c > maxSeen {
 				maxSeen = c
 			}

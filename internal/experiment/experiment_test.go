@@ -96,6 +96,39 @@ func TestHelperFunctions(t *testing.T) {
 	}
 }
 
+// TestParallelismDoesNotChangeResults is the determinism regression test for
+// the runner fan-out: the same seed must render bit-identical tables whether
+// the Monte-Carlo repetitions run on one worker or eight. Both a
+// sequential-helper experiment (E6) and one with a per-rep-varying start
+// vertex (E9) are covered.
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	for _, id := range []string{"E6", "E9"} {
+		serial := QuickConfig()
+		serial.Parallelism = 1
+		parallel := QuickConfig()
+		parallel.Parallelism = 8
+
+		ts, err := Run(id, serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		tp, err := Run(id, parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if ts.Text() != tp.Text() {
+			t.Errorf("%s: Parallelism=1 and Parallelism=8 render different tables:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, ts.Text(), tp.Text())
+		}
+		if ts.CSV() != tp.CSV() {
+			t.Errorf("%s: CSV output differs between Parallelism=1 and Parallelism=8", id)
+		}
+	}
+}
+
 // Each experiment runs end-to-end in quick mode. The shape checks themselves
 // are part of the experiment (Table.Passed); these tests assert both that the
 // harness runs and that the paper's predictions hold at reduced scale.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/sim"
 	"dynamicrumor/internal/stats"
 	"dynamicrumor/internal/xrand"
@@ -13,47 +14,38 @@ import (
 // must not be reused across repetitions) and reports the start vertex.
 type networkFactory func(rng *xrand.RNG) (dynamic.Network, int, error)
 
-// measureAsync runs the asynchronous simulator reps times and returns the
-// spread times. maxTime of 0 uses the simulator default.
-func measureAsync(factory networkFactory, reps int, rng *xrand.RNG, maxTime float64) ([]float64, error) {
-	times := make([]float64, 0, reps)
-	for rep := 0; rep < reps; rep++ {
-		sub := rng.Split(uint64(rep) + 1)
+// measureAsync runs the asynchronous simulator reps times — fanned out over
+// cfg.Parallelism workers — and returns the spread times in repetition order.
+// maxTime of 0 uses the simulator default. For runs that hit the cutoff the
+// cutoff time is recorded; callers decide whether that matters.
+func measureAsync(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, maxTime float64) ([]float64, error) {
+	return runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (float64, error) {
 		net, start, err := factory(sub.Split(1))
 		if err != nil {
-			return nil, fmt.Errorf("build network: %w", err)
+			return 0, fmt.Errorf("build network: %w", err)
 		}
 		res, err := sim.RunAsync(net, sim.AsyncOptions{Start: start, MaxTime: maxTime}, sub.Split(2))
 		if err != nil {
-			return nil, fmt.Errorf("async run: %w", err)
+			return 0, fmt.Errorf("async run: %w", err)
 		}
-		if !res.Completed {
-			// Record the cutoff time; callers decide whether that matters.
-			times = append(times, res.SpreadTime)
-			continue
-		}
-		times = append(times, res.SpreadTime)
-	}
-	return times, nil
+		return res.SpreadTime, nil
+	})
 }
 
-// measureSync runs the synchronous simulator reps times and returns the round
-// counts.
-func measureSync(factory networkFactory, reps int, rng *xrand.RNG, maxRounds int) ([]float64, error) {
-	times := make([]float64, 0, reps)
-	for rep := 0; rep < reps; rep++ {
-		sub := rng.Split(uint64(rep) + 1)
+// measureSync runs the synchronous simulator reps times — fanned out over
+// cfg.Parallelism workers — and returns the round counts in repetition order.
+func measureSync(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, maxRounds int) ([]float64, error) {
+	return runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (float64, error) {
 		net, start, err := factory(sub.Split(1))
 		if err != nil {
-			return nil, fmt.Errorf("build network: %w", err)
+			return 0, fmt.Errorf("build network: %w", err)
 		}
 		res, err := sim.RunSync(net, sim.SyncOptions{Start: start, MaxRounds: maxRounds}, sub.Split(2))
 		if err != nil {
-			return nil, fmt.Errorf("sync run: %w", err)
+			return 0, fmt.Errorf("sync run: %w", err)
 		}
-		times = append(times, res.SpreadTime)
-	}
-	return times, nil
+		return res.SpreadTime, nil
+	})
 }
 
 // summary condenses a sample into (mean, 0.9-quantile).

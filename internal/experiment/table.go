@@ -1,6 +1,6 @@
 // Package experiment contains the harness that regenerates every result of
 // the paper's evaluation: one experiment per theorem/observation/figure
-// (E1–E11, see DESIGN.md), each producing a table that can be rendered as
+// (E1–E12, see DESIGN.md), each producing a table that can be rendered as
 // text or CSV and compared against the paper's predicted shape.
 package experiment
 

@@ -7,7 +7,11 @@ import (
 // ExperimentTable is a rendered experiment result (text/CSV renderable).
 type ExperimentTable = experiment.Table
 
-// ExperimentConfig controls experiment cost and determinism.
+// ExperimentConfig controls experiment cost and determinism. Its Parallelism
+// field sets the number of worker goroutines used for the Monte-Carlo
+// repetitions (0 means GOMAXPROCS); every repetition draws from a private
+// RNG stream derived from Seed, so tables are bit-identical for any
+// Parallelism value — the knob only changes wall-clock time.
 type ExperimentConfig = experiment.Config
 
 // DefaultExperimentConfig is the configuration used for the full paper
@@ -17,7 +21,7 @@ func DefaultExperimentConfig() ExperimentConfig { return experiment.DefaultConfi
 // QuickExperimentConfig is a reduced configuration suitable for tests and CI.
 func QuickExperimentConfig() ExperimentConfig { return experiment.QuickConfig() }
 
-// ExperimentIDs lists the registered experiments (E1..E11), one per theorem,
+// ExperimentIDs lists the registered experiments (E1..E12), one per theorem,
 // observation or figure of the paper.
 func ExperimentIDs() []string { return experiment.IDs() }
 
