@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench check clean
+.PHONY: all build test test-short test-race vet fmt-check bench check clean
 
 all: check
 
@@ -16,14 +16,21 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+test-race:
+	$(GO) test -race -short ./...
+
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkMonteCarlo' -benchmem .
 	$(GO) test -run NONE -bench 'Async|Sync|Flooding|Conductance|GNRho' -benchmem .
 
-check: build vet test
+check: build vet fmt-check test
 
 clean:
 	$(GO) clean ./...

@@ -1,12 +1,16 @@
 // Command rumorsim simulates a rumor-spreading process on a chosen network
-// family and reports spread-time statistics.
+// family and reports spread-time statistics. The network and process are
+// described by a rumor.Scenario — either assembled from the family flags or
+// loaded from a JSON file — and executed by the batch engine, so results are
+// bit-identical for every -parallel value.
 //
 // Example:
 //
 //	rumorsim -family clique -n 1000 -algo async -reps 20
 //	rumorsim -family dynamic-star -n 500 -algo sync
 //	rumorsim -family gnrho -n 1024 -rho 0.25 -algo async -reps 8
-//	rumorsim -family expander -n 5000 -reps 64 -parallel 8
+//	rumorsim -scenario examples/scenarios/clique.json -reps 64 -parallel 8
+//	rumorsim -family er -n 2000 -p 0.01 -dump-scenario   # print the JSON spec
 package main
 
 import (
@@ -15,7 +19,6 @@ import (
 	"fmt"
 	"os"
 
-	"dynamicrumor/internal/runner"
 	"dynamicrumor/rumor"
 )
 
@@ -27,6 +30,8 @@ func main() {
 }
 
 type options struct {
+	scenario string
+	dump     bool
 	family   string
 	algo     string
 	n        int
@@ -42,6 +47,10 @@ type options struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rumorsim", flag.ContinueOnError)
 	var opts options
+	fs.StringVar(&opts.scenario, "scenario", "",
+		"path to a JSON scenario file; overrides the family/algo flags")
+	fs.BoolVar(&opts.dump, "dump-scenario", false,
+		"print the scenario as JSON instead of running it")
 	fs.StringVar(&opts.family, "family", "clique",
 		"network family: clique, star, cycle, path, hypercube, expander, er, "+
 			"dynamic-star, dichotomy-g1, gnrho, absgnrho, edge-markovian, mobile")
@@ -57,140 +66,137 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if opts.n < 2 {
-		return errors.New("-n must be at least 2")
-	}
 	if opts.reps < 1 {
 		return errors.New("-reps must be at least 1")
 	}
-	return simulate(opts, os.Stdout)
+
+	var sc rumor.Scenario
+	if opts.scenario != "" {
+		var err error
+		sc, err = rumor.LoadScenario(opts.scenario)
+		if err != nil {
+			return err
+		}
+		if sc.Trace {
+			opts.trace = true
+		}
+	} else {
+		if opts.n < 2 {
+			return errors.New("-n must be at least 2")
+		}
+		var err error
+		sc, err = buildScenario(opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	if opts.dump {
+		data, err := rumor.EncodeScenario(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stdout, string(data))
+		return nil
+	}
+	return simulate(sc, opts, os.Stdout)
 }
 
-func simulate(opts options, out *os.File) error {
-	root := rumor.NewRNG(opts.seed)
-	// Fan the repetitions out across -parallel workers; each draws from a
-	// private stream of the seed, so the statistics below are identical for
-	// every worker count.
-	results, err := runner.Map(opts.parallel, opts.reps, root,
-		func(rep int, rng *rumor.RNG) (*rumor.Result, error) {
-			net, start, err := buildNetwork(opts, rng.Split(1))
-			if err != nil {
-				return nil, err
-			}
-			return runAlgo(opts, net, start, rng.Split(2), rep == 0 && opts.trace)
-		})
+// buildScenario translates the family/algo flags into a declarative scenario.
+func buildScenario(opts options) (rumor.Scenario, error) {
+	params := rumor.Params{"n": float64(opts.n)}
+	switch opts.family {
+	case "gnrho", "absgnrho":
+		params["rho"] = opts.rho
+	case "er":
+		params["p"] = opts.p
+	case "edge-markovian":
+		params["p"] = opts.p
+		params["q"] = opts.q
+	}
+	sc := rumor.Scenario{
+		Network: rumor.NetworkSpec{Family: opts.family, Params: params},
+		Trace:   opts.trace,
+	}
+	switch opts.algo {
+	case "async":
+		sc.Protocol = rumor.ProtocolAsync
+	case "push":
+		sc.Protocol = rumor.ProtocolAsync
+		sc.Mode = rumor.PushOnly
+	case "pull":
+		sc.Protocol = rumor.ProtocolAsync
+		sc.Mode = rumor.PullOnly
+	case "sync":
+		sc.Protocol = rumor.ProtocolSync
+	case "flood":
+		sc.Protocol = rumor.ProtocolFlooding
+	default:
+		return rumor.Scenario{}, fmt.Errorf("unknown algorithm %q", opts.algo)
+	}
+	return sc, sc.Validate()
+}
+
+func simulate(sc rumor.Scenario, opts options, out *os.File) error {
+	eng := rumor.Engine{Parallelism: opts.parallel, Seed: opts.seed}
+	// The batch itself runs without trace recording: the CLI only reports
+	// summary statistics, and recording a TracePoint per informed vertex on
+	// every repetition would hold the whole ensemble's traces in memory for
+	// nothing. Trace recording does not consume randomness, so this changes
+	// no statistic.
+	batchSc := sc
+	batchSc.Trace = false
+	ens, err := eng.RunBatch(batchSc, opts.reps)
 	if err != nil {
 		return err
 	}
-	var times []float64
-	completedAll := true
-	for _, res := range results {
-		if !res.Completed {
-			completedAll = false
-		}
-		times = append(times, res.SpreadTime)
-	}
 	if opts.trace {
-		for _, p := range results[0].Trace {
+		// Re-run repetition 0 with tracing on. Engine.Run draws the same
+		// private stream as the batch's first repetition, so the printed
+		// trajectory is exactly the one behind ens.Results[0].
+		traceSc := sc
+		traceSc.Trace = true
+		first, err := eng.Run(traceSc)
+		if err != nil {
+			return err
+		}
+		for _, p := range first.Trace {
 			fmt.Fprintf(out, "trace t=%.4f informed=%d\n", p.Time, p.Informed)
 		}
 	}
-	mean, min, max := 0.0, times[0], times[0]
-	for _, t := range times {
-		mean += t
-		if t < min {
-			min = t
+	min, max := ens.MinMaxSpreadTime()
+	label := sc.Name
+	if label == "" {
+		label = fmt.Sprintf("family=%s algo=%s", sc.Network.Family, describeAlgo(sc))
+		// Families like torus or complete-bipartite are not parameterized by
+		// a vertex count; only report n when the spec carries one.
+		if sc.Network.Params.Has("n") {
+			label += fmt.Sprintf(" n=%d", sc.Network.Params.Int("n", 0))
 		}
-		if t > max {
-			max = t
-		}
+	} else {
+		label = "scenario=" + label
 	}
-	mean /= float64(len(times))
-	fmt.Fprintf(out, "family=%s algo=%s n=%d reps=%d\n", opts.family, opts.algo, opts.n, opts.reps)
+	fmt.Fprintf(out, "%s reps=%d\n", label, ens.Reps())
 	fmt.Fprintf(out, "spread time: mean=%.3f min=%.3f max=%.3f (all completed: %v)\n",
-		mean, min, max, completedAll)
+		ens.MeanSpreadTime(), min, max, ens.CompletionRate() == 1)
 	return nil
 }
 
-func buildNetwork(opts options, rng *rumor.RNG) (rumor.Network, int, error) {
-	n := opts.n
-	switch opts.family {
-	case "clique":
-		return rumor.Static(rumor.Clique(n)), 0, nil
-	case "star":
-		return rumor.Static(rumor.Star(n, 0)), 1, nil
-	case "cycle":
-		return rumor.Static(rumor.Cycle(n)), 0, nil
-	case "path":
-		return rumor.Static(rumor.Path(n)), 0, nil
-	case "hypercube":
-		d := 0
-		for 1<<uint(d+1) <= n {
-			d++
-		}
-		return rumor.Static(rumor.Hypercube(d)), 0, nil
-	case "expander":
-		return rumor.Static(rumor.Expander(n, 6, rng)), 0, nil
-	case "er":
-		return rumor.Static(rumor.ErdosRenyi(n, opts.p, rng)), 0, nil
-	case "dynamic-star":
-		net, err := rumor.NewDichotomyG2(n-1, rng)
-		if err != nil {
-			return nil, 0, err
-		}
-		return net, net.StartVertex(), nil
-	case "dichotomy-g1":
-		net, err := rumor.NewDichotomyG1(n - 1)
-		if err != nil {
-			return nil, 0, err
-		}
-		return net, net.StartVertex(), nil
-	case "gnrho":
-		net, err := rumor.NewRhoDiligentNetwork(n, opts.rho, 0, rng)
-		if err != nil {
-			return nil, 0, err
-		}
-		return net, net.StartVertex(), nil
-	case "absgnrho":
-		net, err := rumor.NewAbsDiligentNetwork(n, opts.rho, rng)
-		if err != nil {
-			return nil, 0, err
-		}
-		return net, net.StartVertex(), nil
-	case "edge-markovian":
-		net, err := rumor.NewEdgeMarkovian(n, opts.p, opts.q, rumor.Cycle(n), rng)
-		if err != nil {
-			return nil, 0, err
-		}
-		return net, 0, nil
-	case "mobile":
-		side := 1
-		for side*side*4 < n {
-			side++
-		}
-		net, err := rumor.NewMobileAgents(n, side, rng)
-		if err != nil {
-			return nil, 0, err
-		}
-		return net, 0, nil
+// describeAlgo reconstructs the historical -algo label from a scenario.
+func describeAlgo(sc rumor.Scenario) string {
+	switch sc.Protocol {
+	case rumor.ProtocolSync:
+		return "sync"
+	case rumor.ProtocolFlooding:
+		return "flood"
 	default:
-		return nil, 0, fmt.Errorf("unknown family %q", opts.family)
-	}
-}
-
-func runAlgo(opts options, net rumor.Network, start int, rng *rumor.RNG, trace bool) (*rumor.Result, error) {
-	switch opts.algo {
-	case "async":
-		return rumor.SpreadAsync(net, rumor.AsyncOptions{Start: start, RecordTrace: trace}, rng)
-	case "push":
-		return rumor.SpreadAsync(net, rumor.AsyncOptions{Start: start, Mode: rumor.PushOnly, RecordTrace: trace}, rng)
-	case "pull":
-		return rumor.SpreadAsync(net, rumor.AsyncOptions{Start: start, Mode: rumor.PullOnly, RecordTrace: trace}, rng)
-	case "sync":
-		return rumor.SpreadSync(net, rumor.SyncOptions{Start: start, RecordTrace: trace}, rng)
-	case "flood":
-		return rumor.SpreadFlooding(net, rumor.SyncOptions{Start: start, RecordTrace: trace}, rng)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", opts.algo)
+		switch sc.Mode {
+		case rumor.PushOnly:
+			return "push"
+		case rumor.PullOnly:
+			return "pull"
+		default:
+			return "async"
+		}
 	}
 }

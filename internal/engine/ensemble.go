@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"dynamicrumor/internal/analysis"
+	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/stats"
+)
+
+// Ensemble is the aggregated outcome of a batch run: the scenario that
+// produced it and one Result per repetition, in repetition order. The
+// aggregation methods absorb the free-standing helpers that used to live in
+// rumor/analysis.go, so spread-time quantiles, completion rates and spread
+// curves are one method call away from any batch run.
+type Ensemble struct {
+	// Scenario is the spec the batch executed.
+	Scenario Scenario
+	// Results holds one result per repetition, in repetition order.
+	Results []*sim.Result
+}
+
+// Reps returns the number of repetitions in the ensemble.
+func (e *Ensemble) Reps() int { return len(e.Results) }
+
+// SpreadTimes returns the per-repetition spread times in repetition order.
+// Repetitions that hit the time limit report the cutoff time; check
+// CompletionRate when that distinction matters.
+func (e *Ensemble) SpreadTimes() []float64 {
+	out := make([]float64, len(e.Results))
+	for i, r := range e.Results {
+		out[i] = r.SpreadTime
+	}
+	return out
+}
+
+// CompletionRate returns the fraction of repetitions that informed every
+// vertex before their limit.
+func (e *Ensemble) CompletionRate() float64 {
+	if len(e.Results) == 0 {
+		return 0
+	}
+	done := 0
+	for _, r := range e.Results {
+		if r.Completed {
+			done++
+		}
+	}
+	return float64(done) / float64(len(e.Results))
+}
+
+// MeanSpreadTime returns the mean spread time across repetitions.
+func (e *Ensemble) MeanSpreadTime() float64 { return stats.Mean(e.SpreadTimes()) }
+
+// SpreadTimeQuantile returns the empirical q-quantile (q in [0, 1]) of the
+// spread times.
+func (e *Ensemble) SpreadTimeQuantile(q float64) float64 {
+	return stats.Quantile(e.SpreadTimes(), q)
+}
+
+// MinMaxSpreadTime returns the extremes of the spread times; (0, 0) for an
+// empty ensemble.
+func (e *Ensemble) MinMaxSpreadTime() (min, max float64) {
+	if len(e.Results) == 0 {
+		return 0, 0
+	}
+	min, max = e.Results[0].SpreadTime, e.Results[0].SpreadTime
+	for _, r := range e.Results[1:] {
+		if r.SpreadTime < min {
+			min = r.SpreadTime
+		}
+		if r.SpreadTime > max {
+			max = r.SpreadTime
+		}
+	}
+	return min, max
+}
+
+// SpreadCurve aggregates the repetition traces into an informed-fraction
+// curve sampled at `points` evenly spaced times. The scenario must have been
+// run with Trace enabled; it errors otherwise.
+func (e *Ensemble) SpreadCurve(points int) ([]analysis.CurvePoint, error) {
+	return analysis.Curve(e.Results, points)
+}
+
+// TimeToFraction returns, per repetition, the earliest traced time at which
+// the informed fraction reached the target, plus how many repetitions
+// reached it.
+func (e *Ensemble) TimeToFraction(fraction float64) (times []float64, reached int) {
+	return analysis.TimeToFraction(e.Results, fraction)
+}
+
+// TimeToFractionQuantiles summarizes TimeToFraction into its median and
+// 0.9-quantile; it errors when no repetition reached the target.
+func (e *Ensemble) TimeToFractionQuantiles(fraction float64) (median, q90 float64, err error) {
+	return analysis.FractionQuantiles(e.Results, fraction)
+}

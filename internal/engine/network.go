@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/xrand"
+)
+
+// NetworkFactory builds a fresh network instance for one repetition and
+// reports the family's default start vertex. Stateful adaptive networks must
+// not be shared across repetitions, so the engine invokes the factory once
+// per repetition with that repetition's private RNG stream.
+type NetworkFactory func(rng *xrand.RNG) (dynamic.Network, int, error)
+
+// NetworkSpec selects the dynamic network of a scenario. Exactly one of the
+// two forms is used:
+//
+//   - declarative: Family names a registered network family and Params carries
+//     its numeric parameters — this form is JSON-serializable;
+//   - programmatic: Custom builds an arbitrary network in code (adaptive
+//     adversaries, hand-built sequences) and wins over Family when set.
+type NetworkSpec struct {
+	// Family is a registered network family name (see Families).
+	Family string `json:"family,omitempty"`
+	// Params are the family's numeric parameters, e.g. {"n": 1024}.
+	Params gen.Params `json:"params,omitempty"`
+	// Custom overrides Family with an in-code network factory; such a spec
+	// is not serializable.
+	Custom NetworkFactory `json:"-"`
+}
+
+// validate checks that the spec names a known family and passes only
+// parameters that family accepts — the same fail-loudly stance the scenario
+// codec takes on unknown JSON fields.
+func (ns NetworkSpec) validate() error {
+	if ns.Custom != nil {
+		return nil
+	}
+	if ns.Family == "" {
+		return errors.New("engine: network spec needs a family name or a custom factory")
+	}
+	if fam, ok := dynamicFamilies[ns.Family]; ok {
+		return ns.Params.CheckKeys(ns.Family, fam.keys)
+	}
+	if keys, ok := gen.AllowedKeys(ns.Family); ok {
+		return ns.Params.CheckKeys(ns.Family, keys)
+	}
+	return fmt.Errorf("engine: unknown network family %q", ns.Family)
+}
+
+// dynamicFamily describes one of the genuinely dynamic network families:
+// its builder and the parameter keys it accepts.
+type dynamicFamily struct {
+	keys  []string
+	build func(p gen.Params, rng *xrand.RNG) (dynamic.Network, int, error)
+}
+
+// dynamicFamilies registers the dynamic constructions of the paper and the
+// related-work baselines. Static graph families resolve through the
+// internal/gen registry instead and are wrapped in dynamic.NewStatic.
+var dynamicFamilies = map[string]dynamicFamily{
+	// The adaptive dynamic star of Figure 1(b) on n vertices total.
+	"dynamic-star": {keys: []string{"n"}, build: func(p gen.Params, rng *xrand.RNG) (dynamic.Network, int, error) {
+		n, err := p.NeedInt("dynamic-star", "n", 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		net, err := dynamic.NewDichotomyG2(n-1, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	}},
+	// The clique-with-pendant → bridged-cliques network of Figure 1(a).
+	"dichotomy-g1": {keys: []string{"n"}, build: func(p gen.Params, _ *xrand.RNG) (dynamic.Network, int, error) {
+		n, err := p.NeedInt("dichotomy-g1", "n", 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		net, err := dynamic.NewDichotomyG1(n - 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	}},
+	// The ρ-diligent network G(n, ρ) of Theorem 1.2.
+	"gnrho": {keys: []string{"n", "rho", "k"}, build: func(p gen.Params, rng *xrand.RNG) (dynamic.Network, int, error) {
+		n, err := p.NeedInt("gnrho", "n", 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		net, err := dynamic.NewGNRho(n, p.Float("rho", 0.25), p.Int("k", 0), rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	}},
+	// The absolutely ρ-diligent network of Theorem 1.5.
+	"absgnrho": {keys: []string{"n", "rho"}, build: func(p gen.Params, rng *xrand.RNG) (dynamic.Network, int, error) {
+		n, err := p.NeedInt("absgnrho", "n", 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		net, err := dynamic.NewAbsGNRho(n, p.Float("rho", 0.25), rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, net.StartVertex(), nil
+	}},
+	// The edge-Markovian evolving graph baseline, seeded with a cycle so the
+	// network starts connected.
+	"edge-markovian": {keys: []string{"n", "p", "q"}, build: func(p gen.Params, rng *xrand.RNG) (dynamic.Network, int, error) {
+		n, err := p.NeedInt("edge-markovian", "n", 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		net, err := dynamic.NewEdgeMarkovian(n, p.Float("p", 0.05), p.Float("q", 0.5), gen.Cycle(n), rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, 0, nil
+	}},
+	// Mobile agents on a torus grid; the side defaults to the smallest value
+	// keeping the agent density at least 1/4 per cell.
+	"mobile": {keys: []string{"n", "side"}, build: func(p gen.Params, rng *xrand.RNG) (dynamic.Network, int, error) {
+		n, err := p.NeedInt("mobile", "n", 2)
+		if err != nil {
+			return nil, 0, err
+		}
+		side := p.Int("side", 0)
+		if side <= 0 {
+			side = 1
+			for side*side*4 < n {
+				side++
+			}
+		}
+		net, err := dynamic.NewMobileAgents(n, side, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		return net, 0, nil
+	}},
+}
+
+// buildNetwork materializes a spec into a network plus the start vertex the
+// family designates (the scenario may override it). The spec is assumed
+// already validated (Engine.RunBatchFrom validates once, before the fan-out);
+// an unknown family still fails cleanly through the registry lookups.
+func buildNetwork(ns NetworkSpec, rng *xrand.RNG) (dynamic.Network, int, error) {
+	if ns.Custom != nil {
+		return ns.Custom(rng)
+	}
+	if fam, ok := dynamicFamilies[ns.Family]; ok {
+		return fam.build(ns.Params, rng)
+	}
+	g, err := gen.Build(ns.Family, ns.Params, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dynamic.NewStatic(g), gen.DefaultStart(ns.Family, ns.Params, g), nil
+}
+
+// Families returns every buildable family name — static graph families from
+// the internal/gen registry plus the dynamic constructions — in sorted order.
+func Families() []string {
+	out := gen.Families()
+	for name := range dynamicFamilies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,207 @@
+// Package engine provides the batch-first execution layer of the library:
+// declarative, JSON-serializable Scenarios describing one simulation setup,
+// and an Engine that fans Monte-Carlo repetitions of a scenario across the
+// deterministic parallel runner and aggregates the outcomes into an Ensemble.
+//
+// The engine is the single execution path shared by the public rumor API,
+// the E1–E12 experiment suite and cmd/rumorsim, so the determinism contract
+// of internal/runner (parallelism is a throughput knob, never an output knob)
+// holds everywhere at once.
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/sim"
+)
+
+// ProtocolKind names one of the spreading algorithms a scenario can select.
+type ProtocolKind string
+
+// The spreading algorithms understood by scenarios.
+const (
+	// ProtocolAsync is the asynchronous push-pull process of Definition 1.
+	ProtocolAsync ProtocolKind = "async"
+	// ProtocolSync is the synchronous round-based push-pull process.
+	ProtocolSync ProtocolKind = "sync"
+	// ProtocolFlooding is synchronous flooding (Mode is ignored).
+	ProtocolFlooding ProtocolKind = "flooding"
+)
+
+// normalize maps the empty kind to the default ProtocolAsync.
+func (k ProtocolKind) normalize() ProtocolKind {
+	if k == "" {
+		return ProtocolAsync
+	}
+	return k
+}
+
+// valid reports whether the kind (after normalization) is known.
+func (k ProtocolKind) valid() bool {
+	switch k.normalize() {
+	case ProtocolAsync, ProtocolSync, ProtocolFlooding:
+		return true
+	default:
+		return false
+	}
+}
+
+// Scenario is a declarative description of one simulation setup: which
+// network, which protocol, and every option the simulators accept. A scenario
+// whose network is given by family name and parameters round-trips through
+// JSON; the zero values of all optional fields select the simulator defaults,
+// so `{"network": {"family": "clique", "params": {"n": 1000}}}` is a complete
+// scenario.
+type Scenario struct {
+	// Name optionally labels the scenario in reports and files.
+	Name string `json:"name,omitempty"`
+	// Network selects the dynamic network, by registered family or custom
+	// factory.
+	Network NetworkSpec `json:"network"`
+	// Protocol selects the spreading algorithm; empty means async.
+	Protocol ProtocolKind `json:"protocol,omitempty"`
+	// Mode selects push-pull (default), push-only or pull-only transfer.
+	Mode sim.Mode `json:"mode,omitempty"`
+	// Start overrides the family's default start vertex when non-nil.
+	Start *int `json:"start,omitempty"`
+	// ClockRate is the asynchronous Poisson clock rate (0 means 1).
+	ClockRate float64 `json:"clock_rate,omitempty"`
+	// MaxTime caps asynchronous simulated time (0 means the 16·n² default).
+	MaxTime float64 `json:"max_time,omitempty"`
+	// MaxRounds caps synchronous rounds (0 means the 16·n² default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Trace records a TracePoint per newly informed vertex, enabling
+	// Ensemble.SpreadCurve and the time-to-fraction aggregations.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// Validate checks that the scenario is executable: a known protocol kind, a
+// network given by known family or custom factory, and in-range options.
+func (s Scenario) Validate() error {
+	if !s.Protocol.valid() {
+		return fmt.Errorf("engine: unknown protocol %q (want async, sync or flooding)", string(s.Protocol))
+	}
+	switch s.Mode {
+	case 0, sim.PushPull, sim.PushOnly, sim.PullOnly:
+	default:
+		return fmt.Errorf("engine: invalid mode %d", int(s.Mode))
+	}
+	if s.Start != nil && *s.Start < 0 {
+		return fmt.Errorf("engine: start vertex %d is negative", *s.Start)
+	}
+	if s.ClockRate < 0 {
+		return fmt.Errorf("engine: clock rate %v is negative", s.ClockRate)
+	}
+	if s.MaxTime < 0 {
+		return fmt.Errorf("engine: max time %v is negative", s.MaxTime)
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("engine: max rounds %d is negative", s.MaxRounds)
+	}
+	// Reject options the selected protocol would silently ignore — the same
+	// fail-loudly stance the codec takes on unknown fields.
+	switch kind := s.Protocol.normalize(); kind {
+	case ProtocolAsync:
+		if s.MaxRounds != 0 {
+			return fmt.Errorf("engine: max_rounds applies to sync and flooding, not %s (use max_time)", kind)
+		}
+	case ProtocolSync, ProtocolFlooding:
+		if s.MaxTime != 0 {
+			return fmt.Errorf("engine: max_time applies to async, not %s (use max_rounds)", kind)
+		}
+		if s.ClockRate != 0 {
+			return fmt.Errorf("engine: clock_rate applies to async, not %s", kind)
+		}
+		if kind == ProtocolFlooding && s.Mode != 0 {
+			return fmt.Errorf("engine: mode applies to push-pull protocols, not flooding")
+		}
+	}
+	return s.Network.validate()
+}
+
+// protocolFor assembles the sim.Protocol this scenario describes, with the
+// concrete start vertex filled in.
+func (s Scenario) protocolFor(start int) sim.Protocol {
+	switch s.Protocol.normalize() {
+	case ProtocolSync:
+		return sim.SyncProtocol{Opts: sim.SyncOptions{
+			Start:       start,
+			Mode:        s.Mode,
+			MaxRounds:   s.MaxRounds,
+			RecordTrace: s.Trace,
+		}}
+	case ProtocolFlooding:
+		return sim.FloodingProtocol{Opts: sim.SyncOptions{
+			Start:       start,
+			MaxRounds:   s.MaxRounds,
+			RecordTrace: s.Trace,
+		}}
+	default:
+		return sim.AsyncProtocol{Opts: sim.AsyncOptions{
+			Start:       start,
+			Mode:        s.Mode,
+			ClockRate:   s.ClockRate,
+			MaxTime:     s.MaxTime,
+			RecordTrace: s.Trace,
+		}}
+	}
+}
+
+// ErrNotSerializable is returned when encoding a scenario whose network uses
+// a custom factory instead of a registered family.
+var ErrNotSerializable = errors.New("engine: scenario with a custom network factory cannot be serialized")
+
+// Encode renders the scenario as indented JSON. Scenarios carrying a custom
+// network factory cannot round-trip and are rejected with ErrNotSerializable.
+func Encode(s Scenario) ([]byte, error) {
+	if s.Network.Custom != nil {
+		return nil, ErrNotSerializable
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Parse decodes and validates a JSON scenario. Unknown fields are rejected so
+// that typos in hand-written scenario files fail loudly instead of silently
+// selecting defaults.
+func Parse(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("engine: parse scenario: %w", err)
+	}
+	// One scenario per document: trailing content is a malformed edit
+	// (a duplicated paste, a second object), not something to silently drop.
+	if dec.More() {
+		return Scenario{}, errors.New("engine: parse scenario: trailing content after the scenario object")
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("engine: load scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("engine: scenario %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Params re-exports the parameter map of network specs so callers need not
+// import internal/gen.
+type Params = gen.Params

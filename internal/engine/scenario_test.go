@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"dynamicrumor/internal/sim"
+)
+
+func TestParseMinimalScenario(t *testing.T) {
+	sc, err := Parse([]byte(`{"network": {"family": "clique", "params": {"n": 100}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Protocol.normalize() != ProtocolAsync {
+		t.Fatalf("default protocol = %q, want async", sc.Protocol)
+	}
+	if sc.Mode != 0 || sc.Start != nil || sc.Trace {
+		t.Fatalf("minimal scenario picked up non-defaults: %+v", sc)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"network": {"family": "clique", "params": {"n": 10}}, "protocl": "async"}`))
+	if err == nil || !strings.Contains(err.Error(), "protocl") {
+		t.Fatalf("typo'd field must be rejected with a naming error, got %v", err)
+	}
+}
+
+func TestParseRejectsTrailingContent(t *testing.T) {
+	_, err := Parse([]byte(`{"network": {"family": "clique", "params": {"n": 10}}} {"network": {"family": "warp"}}`))
+	if err == nil {
+		t.Fatal("trailing content after the scenario object must be rejected")
+	}
+}
+
+func TestParseRejectsInvalidScenarios(t *testing.T) {
+	cases := []string{
+		`{"network": {"family": "warp", "params": {"n": 10}}}`, // unknown family
+		`{"network": {}}`, // no family
+		`{"network": {"family": "clique"}, "protocol": "telepathy"}`,              // unknown protocol
+		`{"network": {"family": "clique", "params": {"n": 10}}, "mode": "shout"}`, // unknown mode
+		`{"network": {"family": "clique", "params": {"n": 10}}, "start": -3}`,
+		`{"network": {"family": "clique", "params": {"n": 10}}, "max_time": -1}`,
+		`{"network": {"family": "clique", "params": {"n": 10}}, "max_rounds": -1}`,
+		`{"network": {"family": "clique", "params": {"n": 10}}, "clock_rate": -2}`,
+		// Parameter keys the family does not accept fail loudly.
+		`{"network": {"family": "gnrho", "params": {"n": 64, "Rho": 0.9}}}`,
+		`{"network": {"family": "er", "params": {"n": 64, "prob": 0.1}}}`,
+		// Options the selected protocol would silently ignore fail loudly.
+		`{"network": {"family": "clique", "params": {"n": 10}}, "max_rounds": 5}`,
+		`{"network": {"family": "clique", "params": {"n": 10}}, "protocol": "sync", "max_time": 5}`,
+		`{"network": {"family": "clique", "params": {"n": 10}}, "protocol": "sync", "clock_rate": 2}`,
+		`{"network": {"family": "clique", "params": {"n": 10}}, "protocol": "flooding", "mode": "push"}`,
+	}
+	for _, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Fatalf("Parse(%s) succeeded, want error", src)
+		}
+	}
+}
+
+func TestModeJSONRoundTrip(t *testing.T) {
+	for _, m := range []sim.Mode{0, sim.PushPull, sim.PushOnly, sim.PullOnly} {
+		sc := Scenario{
+			Network: NetworkSpec{Family: "clique", Params: Params{"n": 10}},
+			Mode:    m,
+		}
+		data, err := Encode(sc)
+		if err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("mode %v: %v\nJSON:\n%s", m, err, data)
+		}
+		if back.Mode != m {
+			t.Fatalf("mode %v round-tripped to %v", m, back.Mode)
+		}
+		// The zero mode must be omitted, named modes must appear by name.
+		if m == 0 && strings.Contains(string(data), "mode") {
+			t.Fatalf("zero mode serialized: %s", data)
+		}
+		if m != 0 && !strings.Contains(string(data), m.String()) {
+			t.Fatalf("mode %v not serialized by name: %s", m, data)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalidScenario(t *testing.T) {
+	if _, err := Encode(Scenario{Network: NetworkSpec{Family: "nope"}}); err == nil {
+		t.Fatal("Encode must validate the scenario")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/scenario.json"); err == nil {
+		t.Fatal("Load of a missing file must error")
+	}
+}
+
+func TestEnsembleAggregation(t *testing.T) {
+	eng := Engine{Parallelism: 2, Seed: 11}
+	ens, err := eng.RunBatch(Scenario{
+		Network: NetworkSpec{Family: "clique", Params: Params{"n": 50}},
+		Trace:   true,
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Reps() != 10 {
+		t.Fatalf("Reps() = %d, want 10", ens.Reps())
+	}
+	if ens.CompletionRate() != 1 {
+		t.Fatalf("CompletionRate() = %v, want 1 on a clique", ens.CompletionRate())
+	}
+	times := ens.SpreadTimes()
+	min, max := ens.MinMaxSpreadTime()
+	mean := ens.MeanSpreadTime()
+	if min <= 0 || max < min || mean < min || mean > max {
+		t.Fatalf("inconsistent aggregates: min=%v mean=%v max=%v times=%v", min, mean, max, times)
+	}
+	if q50, q90 := ens.SpreadTimeQuantile(0.5), ens.SpreadTimeQuantile(0.9); q50 > q90 {
+		t.Fatalf("quantiles out of order: q50=%v > q90=%v", q50, q90)
+	}
+	curve, err := ens.SpreadCurve(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 16 {
+		t.Fatalf("curve has %d points, want 16", len(curve))
+	}
+	if last := curve[len(curve)-1]; last.MeanFraction != 1 {
+		t.Fatalf("curve must end fully informed, got %+v", last)
+	}
+	median, q90, err := ens.TimeToFractionQuantiles(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if median <= 0 || q90 < median {
+		t.Fatalf("time-to-half quantiles inconsistent: median=%v q90=%v", median, q90)
+	}
+	if _, reached := ens.TimeToFraction(0.5); reached != 10 {
+		t.Fatalf("reached = %d, want 10", reached)
+	}
+}
+
+func TestEnsembleTracelessCurveErrors(t *testing.T) {
+	ens, err := Engine{Seed: 2}.RunBatch(Scenario{
+		Network: NetworkSpec{Family: "clique", Params: Params{"n": 20}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ens.SpreadCurve(8); err == nil {
+		t.Fatal("SpreadCurve on a traceless ensemble must error")
+	}
+	if _, _, err := ens.TimeToFractionQuantiles(0.5); err == nil {
+		t.Fatal("TimeToFractionQuantiles on a traceless ensemble must error")
+	}
+}

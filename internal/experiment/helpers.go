@@ -1,50 +1,58 @@
 package experiment
 
 import (
-	"fmt"
-
 	"dynamicrumor/internal/dynamic"
-	"dynamicrumor/internal/runner"
-	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/engine"
 	"dynamicrumor/internal/stats"
 	"dynamicrumor/internal/xrand"
 )
 
 // networkFactory builds a fresh network instance (stateful adaptive networks
-// must not be reused across repetitions) and reports the start vertex.
-type networkFactory func(rng *xrand.RNG) (dynamic.Network, int, error)
+// must not be reused across repetitions) and reports the start vertex. It is
+// the engine's factory type; experiments plug it into a scenario's Custom
+// network slot.
+type networkFactory = engine.NetworkFactory
 
-// measureAsync runs the asynchronous simulator reps times — fanned out over
-// cfg.Parallelism workers — and returns the spread times in repetition order.
-// maxTime of 0 uses the simulator default. For runs that hit the cutoff the
-// cutoff time is recorded; callers decide whether that matters.
+// measure fans reps repetitions of the scenario out over cfg.Parallelism
+// workers via the shared engine and returns the spread times in repetition
+// order. The engine reproduces the historical serial loops bit for bit
+// (network from stream Split(1), protocol from Split(2)), so tables are
+// unchanged by the migration. For runs that hit the cutoff the cutoff time is
+// recorded; callers decide whether that matters.
+func measure(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, sc engine.Scenario) ([]float64, error) {
+	sc.Network = engine.NetworkSpec{Custom: factory}
+	eng := engine.Engine{Parallelism: cfg.Parallelism}
+	ens, err := eng.RunBatchFrom(sc, reps, rng)
+	if err != nil {
+		return nil, err
+	}
+	return ens.SpreadTimes(), nil
+}
+
+// measureAsync runs the asynchronous simulator reps times and returns the
+// spread times in repetition order. maxTime of 0 uses the simulator default.
 func measureAsync(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, maxTime float64) ([]float64, error) {
-	return runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (float64, error) {
-		net, start, err := factory(sub.Split(1))
-		if err != nil {
-			return 0, fmt.Errorf("build network: %w", err)
-		}
-		res, err := sim.RunAsync(net, sim.AsyncOptions{Start: start, MaxTime: maxTime}, sub.Split(2))
-		if err != nil {
-			return 0, fmt.Errorf("async run: %w", err)
-		}
-		return res.SpreadTime, nil
+	return measure(cfg, factory, reps, rng, engine.Scenario{
+		Protocol: engine.ProtocolAsync,
+		MaxTime:  maxTime,
 	})
 }
 
-// measureSync runs the synchronous simulator reps times — fanned out over
-// cfg.Parallelism workers — and returns the round counts in repetition order.
+// measureSync runs the synchronous simulator reps times and returns the round
+// counts in repetition order.
 func measureSync(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, maxRounds int) ([]float64, error) {
-	return runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (float64, error) {
-		net, start, err := factory(sub.Split(1))
-		if err != nil {
-			return 0, fmt.Errorf("build network: %w", err)
-		}
-		res, err := sim.RunSync(net, sim.SyncOptions{Start: start, MaxRounds: maxRounds}, sub.Split(2))
-		if err != nil {
-			return 0, fmt.Errorf("sync run: %w", err)
-		}
-		return res.SpreadTime, nil
+	return measure(cfg, factory, reps, rng, engine.Scenario{
+		Protocol:  engine.ProtocolSync,
+		MaxRounds: maxRounds,
+	})
+}
+
+// measureFlooding runs the flooding baseline reps times and returns the round
+// counts in repetition order.
+func measureFlooding(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, maxRounds int) ([]float64, error) {
+	return measure(cfg, factory, reps, rng, engine.Scenario{
+		Protocol:  engine.ProtocolFlooding,
+		MaxRounds: maxRounds,
 	})
 }
 

@@ -2,39 +2,11 @@ package sim
 
 import (
 	"errors"
-	"fmt"
 
 	"dynamicrumor/internal/dynamic"
 	"dynamicrumor/internal/graph"
 	"dynamicrumor/internal/xrand"
 )
-
-// Mode selects which contacts can transfer the rumor.
-type Mode int
-
-const (
-	// PushPull is the standard algorithm of Definition 1: a contact transfers
-	// the rumor if at least one endpoint knows it.
-	PushPull Mode = iota + 1
-	// PushOnly transfers the rumor only from the calling (informed) vertex.
-	PushOnly
-	// PullOnly transfers the rumor only to the calling (uninformed) vertex.
-	PullOnly
-)
-
-// String implements fmt.Stringer.
-func (m Mode) String() string {
-	switch m {
-	case PushPull:
-		return "push-pull"
-	case PushOnly:
-		return "push"
-	case PullOnly:
-		return "pull"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
-	}
-}
 
 // ErrInvalidStart is returned when the start vertex is out of range.
 var ErrInvalidStart = errors.New("sim: start vertex out of range")
@@ -72,10 +44,7 @@ func RunAsync(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG) (*Result, 
 	if n == 0 {
 		return &Result{Completed: true}, nil
 	}
-	mode := opts.Mode
-	if mode == 0 {
-		mode = PushPull
-	}
+	mode := opts.Mode.normalize()
 	clockRate := opts.ClockRate
 	if clockRate <= 0 {
 		clockRate = 1

@@ -1,0 +1,81 @@
+package sim
+
+import "fmt"
+
+// Mode selects which contacts can transfer the rumor.
+type Mode int
+
+const (
+	// PushPull is the standard algorithm of Definition 1: a contact transfers
+	// the rumor if at least one endpoint knows it.
+	PushPull Mode = iota + 1
+	// PushOnly transfers the rumor only from the calling (informed) vertex.
+	PushOnly
+	// PullOnly transfers the rumor only to the calling (uninformed) vertex.
+	PullOnly
+)
+
+// normalize maps the zero value to the default PushPull so that every
+// simulator and protocol shares one defaulting rule.
+func (m Mode) normalize() Mode {
+	if m == 0 {
+		return PushPull
+	}
+	return m
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case PushPull:
+		return "push-pull"
+	case PushOnly:
+		return "push"
+	case PullOnly:
+		return "pull"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler so scenario JSON carries the
+// human-readable mode name. The zero value marshals to the empty string (and
+// is dropped by omitempty struct tags).
+func (m Mode) MarshalText() ([]byte, error) {
+	switch m {
+	case 0:
+		return nil, nil
+	case PushPull, PushOnly, PullOnly:
+		return []byte(m.String()), nil
+	default:
+		return nil, fmt.Errorf("sim: cannot marshal invalid Mode(%d)", int(m))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting the names
+// produced by MarshalText plus common aliases.
+func (m *Mode) UnmarshalText(text []byte) error {
+	v, err := ParseMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// ParseMode converts a mode name to a Mode. The empty string parses to the
+// zero value, which every simulator treats as PushPull.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "push-pull", "pushpull":
+		return PushPull, nil
+	case "push", "push-only":
+		return PushOnly, nil
+	case "pull", "pull-only":
+		return PullOnly, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown mode %q (want push-pull, push or pull)", s)
+	}
+}

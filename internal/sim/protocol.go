@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/xrand"
+)
+
+// Protocol is a rumor-spreading process ready to execute on a network: the
+// algorithm (asynchronous push-pull, synchronous push-pull, flooding) together
+// with all of its options. It is the single execution contract shared by the
+// batch engine, the experiment suite and the CLI; the three historical
+// entry points RunAsync, RunSync and RunFlooding are its implementations.
+//
+// Run must be deterministic given (net, rng) and must not retain net or rng
+// after returning, so distinct repetitions can run concurrently as long as
+// each receives its own network instance and RNG stream.
+type Protocol interface {
+	// Run executes the process once and reports the outcome.
+	Run(net dynamic.Network, rng *xrand.RNG) (*Result, error)
+	// Kind returns the protocol's stable name ("async", "sync", "flooding"),
+	// used by scenario serialization and error messages.
+	Kind() string
+}
+
+// AsyncProtocol runs the asynchronous push-pull process of Definition 1.
+type AsyncProtocol struct {
+	Opts AsyncOptions
+}
+
+var _ Protocol = AsyncProtocol{}
+
+// Run implements Protocol.
+func (p AsyncProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, error) {
+	return RunAsync(net, p.Opts, rng)
+}
+
+// Kind implements Protocol.
+func (AsyncProtocol) Kind() string { return "async" }
+
+// SyncProtocol runs the synchronous round-based push-pull process.
+type SyncProtocol struct {
+	Opts SyncOptions
+}
+
+var _ Protocol = SyncProtocol{}
+
+// Run implements Protocol.
+func (p SyncProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, error) {
+	return RunSync(net, p.Opts, rng)
+}
+
+// Kind implements Protocol.
+func (SyncProtocol) Kind() string { return "sync" }
+
+// FloodingProtocol runs synchronous flooding; its Mode option is ignored.
+type FloodingProtocol struct {
+	Opts SyncOptions
+}
+
+var _ Protocol = FloodingProtocol{}
+
+// Run implements Protocol.
+func (p FloodingProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, error) {
+	return RunFlooding(net, p.Opts, rng)
+}
+
+// Kind implements Protocol.
+func (FloodingProtocol) Kind() string { return "flooding" }

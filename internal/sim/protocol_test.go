@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/xrand"
+)
+
+// TestProtocolsMatchFreeFunctions pins the unification contract: each
+// Protocol implementation must be a pure repackaging of its historical free
+// function, consuming randomness identically.
+func TestProtocolsMatchFreeFunctions(t *testing.T) {
+	g := gen.Expander(120, 6, xrand.New(3))
+	net := dynamic.NewStatic(g)
+
+	aOpts := AsyncOptions{Start: 0, RecordTrace: true}
+	want, err := RunAsync(net, aOpts, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AsyncProtocol{Opts: aOpts}.Run(net, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("AsyncProtocol.Run diverged from RunAsync")
+	}
+
+	sOpts := SyncOptions{Start: 0, RecordTrace: true}
+	wantS, err := RunSync(net, sOpts, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := SyncProtocol{Opts: sOpts}.Run(net, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantS, gotS) {
+		t.Fatal("SyncProtocol.Run diverged from RunSync")
+	}
+
+	wantF, err := RunFlooding(net, sOpts, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF, err := FloodingProtocol{Opts: sOpts}.Run(net, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantF, gotF) {
+		t.Fatal("FloodingProtocol.Run diverged from RunFlooding")
+	}
+}
+
+func TestProtocolKinds(t *testing.T) {
+	for _, c := range []struct {
+		p    Protocol
+		want string
+	}{
+		{AsyncProtocol{}, "async"},
+		{SyncProtocol{}, "sync"},
+		{FloodingProtocol{}, "flooding"},
+	} {
+		if got := c.p.Kind(); got != c.want {
+			t.Fatalf("Kind() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestModeNormalize(t *testing.T) {
+	if Mode(0).normalize() != PushPull {
+		t.Fatal("zero mode must normalize to PushPull")
+	}
+	for _, m := range []Mode{PushPull, PushOnly, PullOnly} {
+		if m.normalize() != m {
+			t.Fatalf("mode %v must normalize to itself", m)
+		}
+	}
+}
+
+func TestModeTextRoundTrip(t *testing.T) {
+	for _, m := range []Mode{0, PushPull, PushOnly, PullOnly} {
+		text, err := m.MarshalText()
+		if err != nil {
+			t.Fatalf("mode %d: %v", int(m), err)
+		}
+		var back Mode
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("mode %d: %v", int(m), err)
+		}
+		if back != m {
+			t.Fatalf("mode %d round-tripped to %d via %q", int(m), int(back), text)
+		}
+	}
+	if _, err := Mode(99).MarshalText(); err == nil {
+		t.Fatal("invalid mode must not marshal")
+	}
+	if _, err := ParseMode("telegraph"); err == nil {
+		t.Fatal("unknown mode name must not parse")
+	}
+	for name, want := range map[string]Mode{
+		"push-pull": PushPull, "pushpull": PushPull,
+		"push": PushOnly, "push-only": PushOnly,
+		"pull": PullOnly, "pull-only": PullOnly,
+		"": 0,
+	} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = (%v, %v), want %v", name, got, err, want)
+		}
+	}
+}

@@ -5,6 +5,8 @@
 // pull-only variants, and flooding.
 package sim
 
+import "sort"
+
 // TracePoint records the number of informed vertices at a point in time.
 type TracePoint struct {
 	Time     float64
@@ -42,12 +44,12 @@ func (r *Result) Coverage() float64 {
 
 // TimeToReach returns the earliest traced time at which at least count
 // vertices were informed, and whether that count was reached. It requires the
-// run to have been executed with trace recording enabled.
+// run to have been executed with trace recording enabled. Informed counts are
+// non-decreasing along the trace, so the lookup binary-searches in O(log n).
 func (r *Result) TimeToReach(count int) (float64, bool) {
-	for _, p := range r.Trace {
-		if p.Informed >= count {
-			return p.Time, true
-		}
+	idx := sort.Search(len(r.Trace), func(i int) bool { return r.Trace[i].Informed >= count })
+	if idx == len(r.Trace) {
+		return 0, false
 	}
-	return 0, false
+	return r.Trace[idx].Time, true
 }

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+)
+
+// linearTimeToReach is the historical reference implementation.
+func linearTimeToReach(r *Result, count int) (float64, bool) {
+	for _, p := range r.Trace {
+		if p.Informed >= count {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// largeTrace builds a monotone trace with duplicate-free informed counts and
+// irregular time gaps, large enough that a linear scan and a binary search
+// disagree immediately if the search is off by one anywhere.
+func largeTrace(n int) *Result {
+	r := &Result{N: n, Informed: n, Completed: true}
+	t := 0.0
+	for i := 1; i <= n; i++ {
+		t += 0.25 + float64(i%7)*0.125
+		r.Trace = append(r.Trace, TracePoint{Time: t, Informed: i})
+	}
+	r.SpreadTime = t
+	return r
+}
+
+func TestTimeToReachMatchesLinearScanOnLargeTrace(t *testing.T) {
+	const n = 200_000
+	r := largeTrace(n)
+	for _, count := range []int{0, 1, 2, 3, n / 3, n / 2, n - 1, n, n + 1, 2 * n} {
+		wantT, wantOK := linearTimeToReach(r, count)
+		gotT, gotOK := r.TimeToReach(count)
+		if gotT != wantT || gotOK != wantOK {
+			t.Fatalf("TimeToReach(%d) = (%v, %v), linear reference = (%v, %v)", count, gotT, gotOK, wantT, wantOK)
+		}
+	}
+}
+
+func TestTimeToReachWithPlateaus(t *testing.T) {
+	// Synchronous traces only record rounds where the informed set grew, so
+	// counts can jump; the earliest point at or above the target must win.
+	r := &Result{N: 10, Trace: []TracePoint{
+		{Time: 0, Informed: 1},
+		{Time: 3, Informed: 4},
+		{Time: 5, Informed: 9},
+		{Time: 9, Informed: 10},
+	}}
+	for _, c := range []struct {
+		count  int
+		wantT  float64
+		wantOK bool
+	}{
+		{1, 0, true}, {2, 3, true}, {4, 3, true}, {5, 5, true},
+		{9, 5, true}, {10, 9, true}, {11, 0, false},
+	} {
+		gotT, gotOK := r.TimeToReach(c.count)
+		if gotT != c.wantT || gotOK != c.wantOK {
+			t.Fatalf("TimeToReach(%d) = (%v, %v), want (%v, %v)", c.count, gotT, gotOK, c.wantT, c.wantOK)
+		}
+	}
+}
+
+func TestTimeToReachEmptyTrace(t *testing.T) {
+	r := &Result{N: 5, Informed: 5}
+	if _, ok := r.TimeToReach(1); ok {
+		t.Fatal("TimeToReach on a traceless result must report not-reached")
+	}
+}
+
+func BenchmarkTimeToReach(b *testing.B) {
+	r := largeTrace(1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TimeToReach(999_999)
+	}
+}

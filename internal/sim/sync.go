@@ -30,10 +30,7 @@ func RunSync(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result, er
 	if opts.Start < 0 || opts.Start >= n {
 		return nil, ErrInvalidStart
 	}
-	mode := opts.Mode
-	if mode == 0 {
-		mode = PushPull
-	}
+	mode := opts.Mode.normalize()
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 16 * n * n

@@ -1,0 +1,145 @@
+package rumor_test
+
+import (
+	"math"
+	"testing"
+
+	"dynamicrumor/rumor"
+)
+
+// tracedResults runs a small traced batch through the engine so the analysis
+// helpers get realistic traces.
+func tracedResults(t *testing.T, reps int) []*rumor.Result {
+	t.Helper()
+	ens, err := rumor.Engine{Seed: 41}.RunBatch(rumor.Scenario{
+		Network: rumor.NetworkSpec{Family: "clique", Params: rumor.Params{"n": 64}},
+		Trace:   true,
+	}, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ens.Results
+}
+
+func TestSpreadCurveEmptyInput(t *testing.T) {
+	if _, err := rumor.SpreadCurve(nil, 10); err == nil {
+		t.Fatal("SpreadCurve(nil) must error")
+	}
+	if _, err := rumor.SpreadCurve([]*rumor.Result{}, 10); err == nil {
+		t.Fatal("SpreadCurve(empty) must error")
+	}
+	if _, err := rumor.SpreadCurve([]*rumor.Result{nil, nil}, 10); err == nil {
+		t.Fatal("SpreadCurve(nil results) must error")
+	}
+}
+
+func TestSpreadCurveTracelessResults(t *testing.T) {
+	// Results from runs without RecordTrace carry no trace points and cannot
+	// be aggregated into a curve.
+	res, err := rumor.Engine{Seed: 1}.RunBatch(rumor.Scenario{
+		Network: rumor.NetworkSpec{Family: "clique", Params: rumor.Params{"n": 32}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rumor.SpreadCurve(res.Results, 10); err == nil {
+		t.Fatal("SpreadCurve on traceless results must error")
+	}
+}
+
+func TestSpreadCurveSingleRunEnvelope(t *testing.T) {
+	results := tracedResults(t, 1)
+	curve, err := rumor.SpreadCurve(results, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 12 {
+		t.Fatalf("curve has %d points, want 12", len(curve))
+	}
+	// With a single run the envelope collapses onto the mean.
+	for i, p := range curve {
+		if p.MinFraction != p.MeanFraction || p.MaxFraction != p.MeanFraction {
+			t.Fatalf("point %d: single-run envelope must collapse, got %+v", i, p)
+		}
+		if i > 0 && p.Time <= curve[i-1].Time {
+			t.Fatalf("curve times must be strictly increasing, got %v then %v", curve[i-1].Time, p.Time)
+		}
+	}
+	if last := curve[len(curve)-1]; last.MeanFraction != 1 {
+		t.Fatalf("completed run must end at fraction 1, got %v", last.MeanFraction)
+	}
+}
+
+func TestSpreadCurveMixedTracedAndTraceless(t *testing.T) {
+	results := tracedResults(t, 3)
+	// A nil result and a traceless result must be skipped, not crash or skew
+	// the envelope to zero.
+	mixed := append([]*rumor.Result{nil, {N: 64}}, results...)
+	curve, err := rumor.SpreadCurve(mixed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := curve[len(curve)-1]; last.MeanFraction != 1 {
+		t.Fatalf("traceless results must not drag the mean below 1 at the end, got %v", last.MeanFraction)
+	}
+}
+
+func TestTimeToFraction(t *testing.T) {
+	results := tracedResults(t, 5)
+	times, reached := rumor.TimeToFraction(results, 0.5)
+	if reached != 5 || len(times) != 5 {
+		t.Fatalf("reached = %d (times %v), want all 5", reached, times)
+	}
+	for _, x := range times {
+		if x <= 0 || math.IsNaN(x) {
+			t.Fatalf("time-to-half must be positive, got %v", times)
+		}
+	}
+	// Fraction 0 clamps to one informed vertex: reached at time 0.
+	times, reached = rumor.TimeToFraction(results, 0)
+	if reached != 5 {
+		t.Fatalf("fraction 0 must be reached by every run, got %d", reached)
+	}
+	for _, x := range times {
+		if x != 0 {
+			t.Fatalf("fraction 0 is reached at the start, got %v", times)
+		}
+	}
+}
+
+func TestTimeToFractionQuantilesErrors(t *testing.T) {
+	// No results at all.
+	if _, _, err := rumor.TimeToFractionQuantiles(nil, 0.5); err == nil {
+		t.Fatal("TimeToFractionQuantiles(nil) must error")
+	}
+	// Traceless results never report reaching the target.
+	traceless := []*rumor.Result{{N: 10, Informed: 10, Completed: true}}
+	if _, _, err := rumor.TimeToFractionQuantiles(traceless, 0.5); err == nil {
+		t.Fatal("TimeToFractionQuantiles on traceless results must error")
+	}
+	// Healthy path: median <= q90.
+	results := tracedResults(t, 6)
+	median, q90, err := rumor.TimeToFractionQuantiles(results, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if median <= 0 || q90 < median {
+		t.Fatalf("quantiles inconsistent: median=%v q90=%v", median, q90)
+	}
+}
+
+func TestExponentialGrowthRateOnClique(t *testing.T) {
+	results := tracedResults(t, 1)
+	lambda, err := rumor.ExponentialGrowthRate(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push-pull on a clique doubles the informed set at rate ≈ 2; accept a
+	// generous band since n is small.
+	if lambda < 1 || lambda > 3 {
+		t.Fatalf("growth rate on a clique = %v, want ≈ 2", lambda)
+	}
+	if _, err := rumor.ExponentialGrowthRate(&rumor.Result{N: 64}); err == nil {
+		t.Fatal("growth rate of a traceless run must error")
+	}
+}

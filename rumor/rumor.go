@@ -9,12 +9,19 @@
 // The package is a thin facade over the internal implementation packages;
 // everything needed to simulate, bound and experiment is reachable from here.
 //
-// A minimal use looks like:
+// The primary entry point is the scenario/engine API: describe a simulation
+// declaratively as a Scenario (JSON-serializable) and execute Monte-Carlo
+// batches of it with an Engine, whose results are bit-identical for every
+// parallelism value:
 //
-//	rng := rumor.NewRNG(1)
-//	net := rumor.Static(rumor.Clique(1000))
-//	res, err := rumor.SpreadAsync(net, rumor.AsyncOptions{Start: 0}, rng)
-//	// res.SpreadTime is Θ(log n) on the clique.
+//	eng := rumor.Engine{Seed: 1}
+//	ens, err := eng.RunBatch(rumor.Scenario{
+//		Network: rumor.NetworkSpec{Family: "clique", Params: rumor.Params{"n": 1000}},
+//	}, 32)
+//	// ens.MeanSpreadTime() is Θ(log n) on the clique.
+//
+// The legacy one-shot helpers (SpreadAsync, SpreadSync, SpreadFlooding) are
+// kept as thin deprecated wrappers over the same simulators.
 package rumor
 
 import (
@@ -168,10 +175,17 @@ func NewMobileAgents(agents, side int, rng *RNG) (Network, error) {
 	return dynamic.NewMobileAgents(agents, side, rng)
 }
 
-// Spreading processes.
+// Spreading processes — legacy one-shot helpers. New code should build a
+// Scenario and run it through an Engine (see engine.go), which shares one
+// execution path with the experiment suite and adds batching, aggregation
+// and serialization; these wrappers remain for single-run convenience and
+// backward compatibility.
 
 // SpreadAsync runs the asynchronous rumor-spreading algorithm of Definition 1
 // (exact event-driven simulation).
+//
+// Deprecated: use Engine.Run with a Scenario selecting ProtocolAsync, or
+// AsyncProtocol.Run for a direct single execution.
 func SpreadAsync(net Network, opts AsyncOptions, rng *RNG) (*Result, error) {
 	return sim.RunAsync(net, opts, rng)
 }
@@ -183,11 +197,17 @@ func SpreadAsyncNaive(net Network, opts AsyncOptions, rng *RNG) (*Result, error)
 }
 
 // SpreadSync runs the synchronous round-based push-pull algorithm.
+//
+// Deprecated: use Engine.Run with a Scenario selecting ProtocolSync, or
+// SyncProtocol.Run for a direct single execution.
 func SpreadSync(net Network, opts SyncOptions, rng *RNG) (*Result, error) {
 	return sim.RunSync(net, opts, rng)
 }
 
 // SpreadFlooding runs synchronous flooding.
+//
+// Deprecated: use Engine.Run with a Scenario selecting ProtocolFlooding, or
+// FloodingProtocol.Run for a direct single execution.
 func SpreadFlooding(net Network, opts SyncOptions, rng *RNG) (*Result, error) {
 	return sim.RunFlooding(net, opts, rng)
 }
