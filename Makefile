@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt-check bench check clean
+.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke check clean
+
+# The anchor benchmarks tracked across PRs (see BENCH_*.json and
+# EXPERIMENTS.md): the Monte-Carlo engine fan-out plus the two hot-path
+# anchors of the allocation-free rebuild work.
+BENCH_ANCHORS := BenchmarkMonteCarlo|BenchmarkGNRhoConstructionN2048|BenchmarkAsyncDynamicStarN5000
 
 all: check
 
@@ -29,6 +34,21 @@ fmt-check:
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkMonteCarlo' -benchmem .
 	$(GO) test -run NONE -bench 'Async|Sync|Flooding|Conductance|GNRho' -benchmem .
+
+# bench-json runs the anchor benchmarks and records them as a dated JSON
+# data point, so the performance trajectory of the repo is a committed,
+# machine-readable series (BENCH_<date>.json).
+bench-json:
+	$(GO) test -run NONE -bench '$(BENCH_ANCHORS)' -benchmem -benchtime=2s . > bench.out.tmp
+	@cat bench.out.tmp
+	sh scripts/bench_to_json.sh < bench.out.tmp > BENCH_$$(date -u +%Y-%m-%d).json
+	@rm -f bench.out.tmp
+	@echo "wrote BENCH_$$(date -u +%Y-%m-%d).json"
+
+# bench-smoke is the CI guard: one iteration of every anchor, so the
+# benchmarks cannot rot even when nobody is looking at their numbers.
+bench-smoke:
+	$(GO) test -run NONE -bench '$(BENCH_ANCHORS)' -benchtime 1x -benchmem .
 
 check: build vet fmt-check test
 

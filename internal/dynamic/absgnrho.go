@@ -24,10 +24,21 @@ type AbsGNRho struct {
 	rng   *xrand.RNG
 
 	inB      []bool
-	current  *graph.Graph
 	boundary int // the B-side endpoint of the bridge in the current graph
 	special  int // the A-side degree-Δ endpoint of the bridge
 	prevStep int
+
+	// Rebuild scratch, recycled across steps: the vertex lists of the two
+	// sides, the near-regular rewiring plan, the circulant offsets for the
+	// B side, and the shared builder/double-buffer machinery (the graph of
+	// step t stays valid until the rebuild for step t+2).
+	rb       rebuilder
+	sideA    []int
+	sideB    []int
+	removed1 []bool
+	extraAdj []bool
+	offsets  []int
+	current  *graph.Graph
 }
 
 var _ Network = (*AbsGNRho)(nil)
@@ -55,6 +66,13 @@ func NewAbsGNRho(n int, rho float64, rng *xrand.RNG) (*AbsGNRho, error) {
 	a.inB = make([]bool, n)
 	for v := n / 2; v < n; v++ {
 		a.inB[v] = true
+	}
+	a.rb = newRebuilder(n)
+	a.removed1 = make([]bool, n)
+	a.extraAdj = make([]bool, n)
+	// Δ is even here, so CirculantRegular's offsets are always 1..Δ/2.
+	for o := 1; o <= delta/2; o++ {
+		a.offsets = append(a.offsets, o)
 	}
 	if err := a.rebuild(); err != nil {
 		return nil, err
@@ -112,43 +130,36 @@ func (a *AbsGNRho) GraphAt(t int, informed []bool) *graph.Graph {
 	return a.current
 }
 
-// rebuild constructs G(A,4,Δ) ∪ G(B,Δ) plus the single bridge edge.
+// rebuild constructs G(A,4,Δ) ∪ G(B,Δ) plus the single bridge edge, emitting
+// both regular graphs straight into the recycled builder under the side
+// renumbering instead of materializing them separately.
 func (a *AbsGNRho) rebuild() error {
-	var sideA, sideB []int
+	a.sideA, a.sideB = a.sideA[:0], a.sideB[:0]
 	for v := 0; v < a.n; v++ {
 		if a.inB[v] {
-			sideB = append(sideB, v)
+			a.sideB = append(a.sideB, v)
 		} else {
-			sideA = append(sideA, v)
+			a.sideA = append(a.sideA, v)
 		}
 	}
-	if len(sideA) < a.delta+2 || len(sideB) < a.delta+2 {
+	if len(a.sideA) < a.delta+2 || len(a.sideB) < a.delta+2 {
 		return fmt.Errorf("dynamic: AbsGNRho sides too small (|A|=%d |B|=%d, Δ=%d)",
-			len(sideA), len(sideB), a.delta)
+			len(a.sideA), len(a.sideB), a.delta)
 	}
+	b := a.rb.begin(a.n)
 	// Near-regular graph on A: all degree 4 except one special vertex of
 	// degree Δ. Keep the special vertex stable (first vertex of A) so the
 	// bridge endpoint on the informed side is deterministic.
-	gA, err := gen.NearRegular(len(sideA), 4, a.delta, 0)
-	if err != nil {
+	if err := gen.AppendNearRegular(b, a.sideA, len(a.sideA), 4, a.delta, 0, a.removed1, a.extraAdj); err != nil {
 		return err
 	}
-	// Δ-regular graph on B.
-	gB, err := gen.CirculantRegular(len(sideB), a.delta)
-	if err != nil {
-		return err
-	}
-	b := graph.NewBuilder(a.n)
-	for _, e := range gA.Edges() {
-		b.AddEdge(sideA[e.U], sideA[e.V])
-	}
-	for _, e := range gB.Edges() {
-		b.AddEdge(sideB[e.U], sideB[e.V])
-	}
-	a.special = sideA[0]
-	a.boundary = sideB[0]
+	// Δ-regular graph on B (Δ even, so the circulant is exactly Δ-regular
+	// whenever |B| > Δ, which the guard above ensures).
+	gen.AppendCirculant(b, a.sideB, len(a.sideB), a.offsets)
+	a.special = a.sideA[0]
+	a.boundary = a.sideB[0]
 	b.AddEdge(a.special, a.boundary)
-	a.current = b.Build()
+	a.current = a.rb.flip()
 	return nil
 }
 

@@ -73,12 +73,17 @@ func (d *DichotomyG1) GraphAt(t int, _ []bool) *graph.Graph {
 //
 // On this network the synchronous push-pull algorithm needs exactly n rounds
 // while the asynchronous algorithm finishes in Θ(log n) time.
+//
+// The star is re-emitted into a recycled builder and two alternating graph
+// buffers, so steady-state center moves allocate nothing; the graph exposed
+// at step t stays valid until the rebuild for step t+2.
 type DichotomyG2 struct {
 	n       int // number of leaves; the network has n+1 vertices
 	rng     *xrand.RNG
-	current *graph.Graph
 	center  int
 	prev    int
+	rb      rebuilder
+	current *graph.Graph
 }
 
 var _ Network = (*DichotomyG2)(nil)
@@ -89,8 +94,20 @@ func NewDichotomyG2(n int, rng *xrand.RNG) (*DichotomyG2, error) {
 		return nil, fmt.Errorf("dynamic: DichotomyG2 needs n >= 2, got %d", n)
 	}
 	d := &DichotomyG2{n: n, rng: rng, center: 0, prev: -1}
-	d.current = gen.Star(n+1, 0)
+	d.rb = newRebuilder(n + 1)
+	d.rebuildStar()
 	return d, nil
+}
+
+// rebuildStar emits the star centered at d.center into the retired buffer.
+func (d *DichotomyG2) rebuildStar() {
+	b := d.rb.begin(d.n + 1)
+	for v := 0; v <= d.n; v++ {
+		if v != d.center {
+			b.AddEdge(d.center, v)
+		}
+	}
+	d.current = d.rb.flip()
 }
 
 // N implements Network (n+1 vertices).
@@ -125,7 +142,7 @@ func (d *DichotomyG2) GraphAt(t int, informed []bool) *graph.Graph {
 	}
 	if next != d.center {
 		d.center = next
-		d.current = gen.Star(d.n+1, d.center)
+		d.rebuildStar()
 	}
 	return d.current
 }

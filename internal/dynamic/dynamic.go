@@ -18,6 +18,15 @@ import (
 // Simulators call GraphAt with consecutive integer values of t, starting at
 // 0, exactly once per step; stateful implementations (random evolving
 // networks) rely on this calling discipline.
+//
+// Aliasing contract: rebuilding implementations recycle graph storage (see
+// rebuilder below), so the graph returned for step t is guaranteed valid
+// only until the network rebuilds for step t+2 — two rebuilds retire its
+// backing arrays. Consecutive rebuilds always return distinct pointers
+// (pointer equality with the previous step's graph reliably means "graph
+// unchanged"), and a graph consumed before the next GraphAt call is always
+// safe, which is all the simulators and profilers do. Callers that want a
+// longer-lived snapshot must copy the graph while it is current.
 type Network interface {
 	// N returns the number of vertices (constant over time).
 	N() int
@@ -130,6 +139,39 @@ func (f *Func) N() int { return f.NumVertices }
 
 // GraphAt implements Network.
 func (f *Func) GraphAt(t int, informed []bool) *graph.Graph { return f.At(t, informed) }
+
+// rebuilder is the shared rebuild machinery of the networks that expose a
+// fresh graph at unit-time boundaries: one recycled builder plus two graph
+// buffers it alternates between, so steady-state rebuilds allocate nothing.
+//
+// The aliasing contract every user of rebuilder inherits (and documents):
+// the graph returned for step t stays valid until the rebuild for step t+2,
+// and consecutive rebuilds always return distinct pointers, which is what
+// the simulators' `next != g` reload check relies on.
+type rebuilder struct {
+	b      *graph.Builder
+	graphs [2]*graph.Graph
+	cur    int
+}
+
+func newRebuilder(n int) rebuilder {
+	return rebuilder{b: graph.NewBuilder(n)}
+}
+
+// begin resets the builder for a graph on n vertices and returns it for
+// edge emission.
+func (r *rebuilder) begin(n int) *graph.Builder {
+	r.b.Reset(n)
+	return r.b
+}
+
+// flip builds the emitted edges into the retired buffer and returns the
+// freshly exposed graph.
+func (r *rebuilder) flip() *graph.Graph {
+	r.cur ^= 1
+	r.graphs[r.cur] = r.b.BuildInto(r.graphs[r.cur])
+	return r.graphs[r.cur]
+}
 
 // CountInformed returns the number of true entries; a small helper shared by
 // the adaptive constructions.

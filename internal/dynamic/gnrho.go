@@ -18,6 +18,11 @@ import (
 // the B side (B_{t+1} = B_t \ I_{t+1}, A_{t+1} = V \ B_{t+1}) and rebuilds the
 // graph as long as |B_{t+1}| >= n/4 and B actually shrank; otherwise the
 // previous graph is kept, exactly as in Section 4 of the paper.
+//
+// Rebuilds are allocation-free in steady state: the adversary keeps one
+// reusable graph.Builder, side/permutation scratch buffers, and two graph
+// buffers it alternates between (the graph exposed at step t stays valid
+// until the rebuild for step t+2, which is all the simulators rely on).
 type GNRho struct {
 	n     int
 	k     int
@@ -26,8 +31,13 @@ type GNRho struct {
 
 	inB      []bool // current B side
 	sizeB    int
-	current  *gen.Hkd
 	prevStep int
+
+	rb      rebuilder
+	sideA   []int
+	sideB   []int
+	perm    []int
+	current *graph.Graph
 }
 
 var _ Network = (*GNRho)(nil)
@@ -53,16 +63,22 @@ func NewGNRho(n int, rho float64, k int, rng *xrand.RNG) (*GNRho, error) {
 		return nil, fmt.Errorf("dynamic: GNRho k=%d Delta=%d does not fit in |B| = 3n/4", k, delta)
 	}
 	g := &GNRho{n: n, k: k, delta: delta, rng: rng, prevStep: -1}
+	g.rb = newRebuilder(n)
+	// Pre-size every rebuild buffer: the emission volume is known up front
+	// (kΔ² string edges, two 4-regular expanders, 2Δ² attachment edges), so
+	// even the very first construction skips the append doubling series.
+	g.rb.b.Grow(k*delta*delta + 2*delta*delta + 2*n + 16)
+	g.sideA = make([]int, 0, n)
+	g.sideB = make([]int, 0, n)
+	g.perm = make([]int, 0, n)
 	g.inB = make([]bool, n)
 	for v := n / 4; v < n; v++ {
 		g.inB[v] = true
 	}
 	g.sizeB = n - n/4
-	h, err := g.build()
-	if err != nil {
+	if err := g.rebuild(); err != nil {
 		return nil, err
 	}
-	g.current = h
 	return g, nil
 }
 
@@ -81,7 +97,11 @@ func (g *GNRho) StartVertex() int { return 0 }
 
 // ConductanceScale returns the analytic Φ(G^(t)) = Θ(Δ²/(kΔ²+n)) scale of
 // Observation 4.1; it is the same for every step.
-func (g *GNRho) ConductanceScale() float64 { return g.current.ConductanceScale() }
+func (g *GNRho) ConductanceScale() float64 {
+	d := float64(g.delta)
+	k := float64(g.k)
+	return d * d / (k*d*d + float64(g.n))
+}
 
 // DiligenceScale returns the analytic ρ(G^(t)) = Θ(1/Δ) scale.
 func (g *GNRho) DiligenceScale() float64 { return 1 / float64(g.delta) }
@@ -96,10 +116,10 @@ func (g *GNRho) LowerBoundSpreadTime() float64 {
 // adversary rule fires.
 func (g *GNRho) GraphAt(t int, informed []bool) *graph.Graph {
 	if t <= 0 || informed == nil {
-		return g.current.Graph
+		return g.current
 	}
 	if t == g.prevStep {
-		return g.current.Graph
+		return g.current
 	}
 	g.prevStep = t
 	// B_{t} = B_{t-1} \ I_t.
@@ -117,27 +137,35 @@ func (g *GNRho) GraphAt(t int, informed []bool) *graph.Graph {
 	if !changed || newSize < g.n/4 || newSize < g.k*g.delta+1 {
 		// Keep the previous graph (|B| did not shrink, or shrank too far).
 		g.sizeB = newSize
-		return g.current.Graph
+		return g.current
 	}
 	g.sizeB = newSize
-	h, err := g.build()
-	if err != nil {
+	if err := g.rebuild(); err != nil {
 		// Construction can only fail if B became too small, which the guard
 		// above prevents; keep the previous graph as a safe fallback.
-		return g.current.Graph
+		return g.current
 	}
-	g.current = h
-	return g.current.Graph
+	return g.current
 }
 
-func (g *GNRho) build() (*gen.Hkd, error) {
-	var a, b []int
+// rebuild re-partitions the vertices into the two sides and emits a fresh
+// H_{k,Δ}(A,B) into the recycled builder and the retired graph buffer.
+func (g *GNRho) rebuild() error {
+	g.sideA, g.sideB = g.sideA[:0], g.sideB[:0]
 	for v := 0; v < g.n; v++ {
 		if g.inB[v] {
-			b = append(b, v)
+			g.sideB = append(g.sideB, v)
 		} else {
-			a = append(a, v)
+			g.sideA = append(g.sideA, v)
 		}
 	}
-	return gen.NewHkd(gen.HkdParams{K: g.k, Delta: g.delta, A: a, B: b}, g.rng)
+	b := g.rb.begin(g.n)
+	err := gen.AppendHkdEdges(b, gen.HkdParams{
+		K: g.k, Delta: g.delta, A: g.sideA, B: g.sideB,
+	}, g.rng, &g.perm)
+	if err != nil {
+		return err
+	}
+	g.current = g.rb.flip()
+	return nil
 }

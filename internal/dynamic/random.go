@@ -12,11 +12,18 @@ import (
 // probability p and each present edge disappears with probability q,
 // independently. It serves as a randomized-evolution baseline in the
 // experiments, in contrast to the paper's adversarial constructions.
+//
+// The chain state is a flat presence bitmap over the n(n-1)/2 vertex pairs
+// (in (u,v) lexicographic order), transitioned in place; each materialized
+// graph is emitted into a recycled builder and one of two alternating graph
+// buffers, so steady-state steps allocate nothing. The graph of step t stays
+// valid until the rebuild for step t+2.
 type EdgeMarkovian struct {
 	n       int
 	p, q    float64
 	rng     *xrand.RNG
-	present map[graph.Edge]struct{}
+	present []bool // pair bitmap, index pairIndex(u, v)
+	rb      rebuilder
 	current *graph.Graph
 	prev    int
 }
@@ -32,17 +39,25 @@ func NewEdgeMarkovian(n int, p, q float64, initial *graph.Graph, rng *xrand.RNG)
 	if p < 0 || p > 1 || q < 0 || q > 1 {
 		return nil, fmt.Errorf("dynamic: EdgeMarkovian needs p, q in [0,1], got p=%v q=%v", p, q)
 	}
-	em := &EdgeMarkovian{n: n, p: p, q: q, rng: rng, present: make(map[graph.Edge]struct{}), prev: 0}
+	em := &EdgeMarkovian{n: n, p: p, q: q, rng: rng, prev: 0}
+	em.present = make([]bool, n*(n-1)/2)
+	em.rb = newRebuilder(n)
 	if initial != nil {
 		if initial.N() != n {
 			return nil, fmt.Errorf("dynamic: EdgeMarkovian initial graph has %d vertices, want %d", initial.N(), n)
 		}
 		for _, e := range initial.Edges() {
-			em.present[e] = struct{}{}
+			em.present[em.pairIndex(e.U, e.V)] = true
 		}
 	}
-	em.current = em.materialize()
+	em.materialize()
 	return em, nil
+}
+
+// pairIndex maps the canonical pair (u, v) with u < v to its position in the
+// lexicographic enumeration of all pairs.
+func (em *EdgeMarkovian) pairIndex(u, v int) int {
+	return u*em.n - u*(u+1)/2 + (v - u - 1)
 }
 
 // N implements Network.
@@ -58,50 +73,69 @@ func (em *EdgeMarkovian) GraphAt(t int, _ []bool) *graph.Graph {
 		em.transition()
 	}
 	em.prev = t
-	em.current = em.materialize()
+	em.materialize()
 	return em.current
 }
 
+// transition advances every pair one Markov step, consuming one Bernoulli
+// draw per pair in (u, v) lexicographic order — the same stream as the
+// historical map-based implementation.
 func (em *EdgeMarkovian) transition() {
-	next := make(map[graph.Edge]struct{}, len(em.present))
+	idx := 0
 	for u := 0; u < em.n; u++ {
 		for v := u + 1; v < em.n; v++ {
-			e := graph.Edge{U: u, V: v}
-			if _, on := em.present[e]; on {
-				if !em.rng.Bernoulli(em.q) {
-					next[e] = struct{}{}
-				}
-			} else if em.rng.Bernoulli(em.p) {
-				next[e] = struct{}{}
+			if em.present[idx] {
+				em.present[idx] = !em.rng.Bernoulli(em.q)
+			} else {
+				em.present[idx] = em.rng.Bernoulli(em.p)
 			}
+			idx++
 		}
 	}
-	em.present = next
 }
 
-func (em *EdgeMarkovian) materialize() *graph.Graph {
-	edges := make([]graph.Edge, 0, len(em.present))
-	for e := range em.present {
-		edges = append(edges, e)
+func (em *EdgeMarkovian) materialize() {
+	b := em.rb.begin(em.n)
+	idx := 0
+	for u := 0; u < em.n; u++ {
+		for v := u + 1; v < em.n; v++ {
+			if em.present[idx] {
+				b.AddEdge(u, v)
+			}
+			idx++
+		}
 	}
-	return graph.FromEdges(em.n, edges)
+	em.current = em.rb.flip()
 }
 
 // MobileAgents models the related-work scenario of agents performing
 // independent random walks on a 2-dimensional torus grid: two agents are
 // adjacent whenever they occupy the same or a 4-neighboring cell. The rumor
 // travels between adjacent agents exactly like in any other dynamic network.
+//
+// The proximity graph is re-derived every step by bucketing agents per cell
+// with a counting sort into recycled arrays, then emitted into a recycled
+// builder and two alternating graph buffers — no per-step maps or
+// allocations. The graph of step t stays valid until the rebuild for t+2.
 type MobileAgents struct {
-	agents  int
-	side    int
-	rng     *xrand.RNG
-	posR    []int
-	posC    []int
-	current *graph.Graph
-	prev    int
+	agents int
+	side   int
+	rng    *xrand.RNG
+	posR   []int
+	posC   []int
+
+	cellStart []int // bucket offsets per cell, length side²+1
+	cellFill  []int // scatter cursors, length side²
+	byCell    []int // agent ids grouped by cell, length agents
+	rb        rebuilder
+	current   *graph.Graph
+	prev      int
 }
 
 var _ Network = (*MobileAgents)(nil)
+
+// cellOffsets are the same-cell and 4-neighbor probes of the proximity rule.
+var cellOffsets = [5][2]int{{0, 0}, {0, 1}, {1, 0}, {0, -1}, {-1, 0}}
 
 // NewMobileAgents places `agents` agents uniformly at random on a side x side
 // torus grid.
@@ -116,7 +150,11 @@ func NewMobileAgents(agents, side int, rng *xrand.RNG) (*MobileAgents, error) {
 		m.posR[i] = rng.Intn(side)
 		m.posC[i] = rng.Intn(side)
 	}
-	m.current = m.materialize()
+	m.cellStart = make([]int, side*side+1)
+	m.cellFill = make([]int, side*side)
+	m.byCell = make([]int, agents)
+	m.rb = newRebuilder(agents)
+	m.materialize()
 	return m, nil
 }
 
@@ -134,7 +172,7 @@ func (m *MobileAgents) GraphAt(t int, _ []bool) *graph.Graph {
 		m.walk()
 	}
 	m.prev = t
-	m.current = m.materialize()
+	m.materialize()
 	return m.current
 }
 
@@ -154,23 +192,38 @@ func (m *MobileAgents) walk() {
 	}
 }
 
-func (m *MobileAgents) materialize() *graph.Graph {
-	// Bucket agents by cell, then connect agents in the same or adjacent cells.
-	cell := make(map[int][]int, m.agents)
-	key := func(r, c int) int { return r*m.side + c }
-	for i := 0; i < m.agents; i++ {
-		k := key(m.posR[i], m.posC[i])
-		cell[k] = append(cell[k], i)
+func (m *MobileAgents) materialize() {
+	// Counting sort of agents by cell id.
+	cells := m.side * m.side
+	for k := 0; k <= cells; k++ {
+		m.cellStart[k] = 0
 	}
-	b := graph.NewBuilder(m.agents)
-	offsets := [][2]int{{0, 0}, {0, 1}, {1, 0}, {0, -1}, {-1, 0}}
-	for k, agents := range cell {
+	for i := 0; i < m.agents; i++ {
+		m.cellStart[m.posR[i]*m.side+m.posC[i]+1]++
+	}
+	for k := 0; k < cells; k++ {
+		m.cellStart[k+1] += m.cellStart[k]
+	}
+	copy(m.cellFill, m.cellStart[:cells])
+	for i := 0; i < m.agents; i++ {
+		k := m.posR[i]*m.side + m.posC[i]
+		m.byCell[m.cellFill[k]] = i
+		m.cellFill[k]++
+	}
+	// Connect agents in the same or 4-neighboring cells.
+	b := m.rb.begin(m.agents)
+	for k := 0; k < cells; k++ {
+		here := m.byCell[m.cellStart[k]:m.cellStart[k+1]]
+		if len(here) == 0 {
+			continue
+		}
 		r, c := k/m.side, k%m.side
-		for _, off := range offsets {
+		for _, off := range cellOffsets {
 			nr := (r + off[0] + m.side) % m.side
 			nc := (c + off[1] + m.side) % m.side
-			neighbors := cell[key(nr, nc)]
-			for _, a := range agents {
+			nk := nr*m.side + nc
+			neighbors := m.byCell[m.cellStart[nk]:m.cellStart[nk+1]]
+			for _, a := range here {
 				for _, b2 := range neighbors {
 					if a != b2 {
 						b.AddEdge(a, b2)
@@ -179,5 +232,5 @@ func (m *MobileAgents) materialize() *graph.Graph {
 			}
 		}
 	}
-	return b.Build()
+	m.current = m.rb.flip()
 }

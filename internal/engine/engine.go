@@ -56,24 +56,33 @@ func (e Engine) RunBatchFrom(sc Scenario, reps int, base *xrand.RNG) (*Ensemble,
 	if reps < 1 {
 		return nil, fmt.Errorf("engine: reps must be >= 1, got %d", reps)
 	}
-	results, err := runner.Map(e.Parallelism, reps, base, func(rep int, sub *xrand.RNG) (*sim.Result, error) {
-		// The stream discipline below — Split(1) for the network, Split(2)
-		// for the protocol — is a compatibility contract: it reproduces the
-		// historical serial loops bit for bit. Do not reorder.
-		net, start, err := buildNetwork(sc.Network, sub.Split(1))
-		if err != nil {
-			return nil, fmt.Errorf("build network: %w", err)
-		}
-		if sc.Start != nil {
-			start = *sc.Start
-		}
-		proto := sc.protocolFor(start)
-		res, err := proto.Run(net, sub.Split(2))
-		if err != nil {
-			return nil, fmt.Errorf("%s run: %w", proto.Kind(), err)
-		}
-		return res, nil
-	})
+	results, err := runner.MapLocal(e.Parallelism, reps, base, sim.NewScratch,
+		func(rep int, sub *xrand.RNG, scratch *sim.Scratch) (*sim.Result, error) {
+			// The stream discipline below — Split(1) for the network, Split(2)
+			// for the protocol — is a compatibility contract: it reproduces the
+			// historical serial loops bit for bit. Do not reorder.
+			net, start, err := buildNetwork(sc.Network, sub.Split(1))
+			if err != nil {
+				return nil, fmt.Errorf("build network: %w", err)
+			}
+			if sc.Start != nil {
+				start = *sc.Start
+			}
+			proto := sc.protocolFor(start)
+			// Every worker reuses one scratch across all of its repetitions;
+			// RunInto is contractually stream- and output-identical to Run, so
+			// this is purely an allocation optimization.
+			var res *sim.Result
+			if rp, ok := proto.(sim.ReusableProtocol); ok {
+				res, err = rp.RunInto(net, sub.Split(2), scratch)
+			} else {
+				res, err = proto.Run(net, sub.Split(2))
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s run: %w", proto.Kind(), err)
+			}
+			return res, nil
+		})
 	if err != nil {
 		return nil, err
 	}

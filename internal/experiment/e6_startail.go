@@ -29,17 +29,18 @@ func RunE6(cfg Config) (*Table, error) {
 	}
 
 	rng := cfg.rng(600)
-	times, err := runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (float64, error) {
-		net, err := dynamic.NewDichotomyG2(n, sub.Split(1))
-		if err != nil {
-			return 0, fmt.Errorf("dynamic star: %w", err)
-		}
-		res, err := sim.RunAsync(net, sim.AsyncOptions{Start: net.StartVertex()}, sub.Split(2))
-		if err != nil {
-			return 0, fmt.Errorf("async run: %w", err)
-		}
-		return res.SpreadTime, nil
-	})
+	times, err := runner.MapLocal(cfg.Parallelism, reps, rng, newRepScratch,
+		func(rep int, sub *xrand.RNG, rs *repScratch) (float64, error) {
+			net, err := dynamic.NewDichotomyG2(n, sub.Split(1))
+			if err != nil {
+				return 0, fmt.Errorf("dynamic star: %w", err)
+			}
+			res, err := sim.RunAsyncInto(net, sim.AsyncOptions{Start: net.StartVertex()}, sub.Split(2), rs.sc, &rs.res)
+			if err != nil {
+				return 0, fmt.Errorf("async run: %w", err)
+			}
+			return res.SpreadTime, nil
+		})
 	if err != nil {
 		return nil, err
 	}

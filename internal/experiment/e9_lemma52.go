@@ -41,13 +41,14 @@ func RunE9(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("regular graph n=%d d=%d: %w", inst.n, inst.delta, err)
 		}
 		net := dynamic.NewStatic(g)
-		counts, err := runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (float64, error) {
-			res, err := sim.RunAsync(net, sim.AsyncOptions{Start: rep % inst.n, MaxTime: 1}, sub)
-			if err != nil {
-				return 0, fmt.Errorf("async run: %w", err)
-			}
-			return float64(res.Informed), nil
-		})
+		counts, err := runner.MapLocal(cfg.Parallelism, reps, rng, newRepScratch,
+			func(rep int, sub *xrand.RNG, rs *repScratch) (float64, error) {
+				res, err := sim.RunAsyncInto(net, sim.AsyncOptions{Start: rep % inst.n, MaxTime: 1}, sub, rs.sc, &rs.res)
+				if err != nil {
+					return 0, fmt.Errorf("async run: %w", err)
+				}
+				return float64(res.Informed), nil
+			})
 		if err != nil {
 			return nil, err
 		}

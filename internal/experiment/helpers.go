@@ -3,6 +3,7 @@ package experiment
 import (
 	"dynamicrumor/internal/dynamic"
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/sim"
 	"dynamicrumor/internal/stats"
 	"dynamicrumor/internal/xrand"
 )
@@ -55,6 +56,18 @@ func measureFlooding(cfg Config, factory networkFactory, reps int, rng *xrand.RN
 		MaxRounds: maxRounds,
 	})
 }
+
+// repScratch bundles the recycled simulator state and result one Monte-Carlo
+// worker carries across all of its repetitions in the experiments that drive
+// the simulators directly (E6, E9) rather than through the engine. Only the
+// scalar extracted from the result survives a repetition, so reusing the
+// result struct itself is safe.
+type repScratch struct {
+	sc  *sim.Scratch
+	res sim.Result
+}
+
+func newRepScratch() *repScratch { return &repScratch{sc: sim.NewScratch()} }
 
 // summary condenses a sample into (mean, 0.9-quantile).
 func summary(times []float64) (mean, q90 float64) {

@@ -75,30 +75,64 @@ func NewHkd(p HkdParams, rng *xrand.RNG) (*Hkd, error) {
 	h.ExpanderB = append([]int(nil), p.B[p.K*p.Delta:]...)
 
 	b := graph.NewBuilder(n)
-	// Step 1: the string of complete bipartite graphs S_i x S_{i+1}.
+	if err := AppendHkdEdges(b, p, rng, nil); err != nil {
+		return nil, err
+	}
+	h.Graph = b.Build()
+	return h, nil
+}
+
+// AppendHkdEdges emits the edges of H_{k,Δ}(A,B) into b, which must span
+// len(A)+len(B) vertices. It performs the size validations of NewHkd but
+// trusts the caller that A and B are disjoint and cover 0..n-1 (NewHkd checks
+// that too). perm, when non-nil, is a reusable permutation scratch buffer so
+// the adaptive dynamic network of Theorem 1.2 can rebuild its graph every
+// step without allocating; the random stream consumed is identical either
+// way.
+func AppendHkdEdges(b *graph.Builder, p HkdParams, rng *xrand.RNG, perm *[]int) error {
+	if p.K < 1 || p.Delta < 1 {
+		return fmt.Errorf("gen: Hkd requires K >= 1 and Delta >= 1, got K=%d Delta=%d", p.K, p.Delta)
+	}
+	if len(p.A) < p.Delta+1 {
+		return fmt.Errorf("gen: Hkd side A has %d vertices, need at least Delta+1=%d", len(p.A), p.Delta+1)
+	}
+	if len(p.B) < p.K*p.Delta+1 {
+		return fmt.Errorf("gen: Hkd side B has %d vertices, need at least K*Delta+1=%d", len(p.B), p.K*p.Delta+1)
+	}
+	// Step 1: the string of complete bipartite graphs S_i x S_{i+1}, where
+	// S_0 = A[:Δ] and S_i = B[(i-1)Δ:iΔ].
+	cluster := func(i int) []int {
+		if i == 0 {
+			return p.A[:p.Delta]
+		}
+		return p.B[(i-1)*p.Delta : i*p.Delta]
+	}
 	for i := 0; i < p.K; i++ {
-		for _, u := range h.Clusters[i] {
-			for _, v := range h.Clusters[i+1] {
+		for _, u := range cluster(i) {
+			for _, v := range cluster(i + 1) {
 				b.AddEdge(u, v)
 			}
 		}
 	}
 	// Step 2: constant-degree expanders on A\S_0 and B\∪S_i.
-	addExpander(b, h.ExpanderA, rng)
-	addExpander(b, h.ExpanderB, rng)
+	expanderA := p.A[p.Delta:]
+	expanderB := p.B[p.K*p.Delta:]
+	addExpander(b, expanderA, rng, perm)
+	addExpander(b, expanderB, rng, perm)
 	// Attach S_0 to the A-side expander and S_k to the B-side expander:
 	// each cluster vertex gets Delta distinct expander neighbors, spread so
 	// every expander vertex gains O(Delta^2 / |expander|) = O(1) edges when
 	// Delta = O(sqrt(n)).
-	attachCluster(b, h.Clusters[0], h.ExpanderA)
-	attachCluster(b, h.Clusters[p.K], h.ExpanderB)
-
-	h.Graph = b.Build()
-	return h, nil
+	attachCluster(b, cluster(0), expanderA)
+	attachCluster(b, cluster(p.K), expanderB)
+	return nil
 }
 
-// addExpander adds a constant-degree expander over the given vertex ids.
-func addExpander(b *graph.Builder, vertices []int, rng *xrand.RNG) {
+// addExpander adds a constant-degree expander over the given vertex ids:
+// the same edge set (and random stream) as Expander(m, 4, rng) remapped
+// through vertices, emitted directly into b so no intermediate graph is
+// materialized. perm, when non-nil, recycles the permutation buffer.
+func addExpander(b *graph.Builder, vertices []int, rng *xrand.RNG, perm *[]int) {
 	m := len(vertices)
 	if m <= 1 {
 		return
@@ -111,9 +145,24 @@ func addExpander(b *graph.Builder, vertices []int, rng *xrand.RNG) {
 		}
 		return
 	}
-	local := Expander(m, 4, rng)
-	for _, e := range local.Edges() {
-		b.AddEdge(vertices[e.U], vertices[e.V])
+	// Expander(m, 4, rng) is the union of two uniformly random Hamiltonian
+	// cycles; duplicates are dropped by the builder at Build time.
+	var p []int
+	if perm != nil {
+		p = *perm
+	}
+	if cap(p) < m {
+		p = make([]int, m, m+m/2)
+	}
+	p = p[:m]
+	if perm != nil {
+		*perm = p
+	}
+	for c := 0; c < 2; c++ {
+		rng.PermInto(p)
+		for i := 0; i < m; i++ {
+			b.AddEdge(vertices[p[i]], vertices[p[(i+1)%m]])
+		}
 	}
 }
 

@@ -140,6 +140,28 @@ func CirculantRegular(n, d int) (*graph.Graph, error) {
 	return g, nil
 }
 
+// AppendCirculant emits the edges of the circulant graph on n vertices with
+// the given offsets into b, renumbered through vmap (vmap[i] is the builder
+// vertex id of circulant vertex i; a nil vmap is the identity). The edge set
+// matches Circulant(n, offsets); duplicates are dropped by the builder.
+func AppendCirculant(b *graph.Builder, vmap []int, n int, offsets []int) {
+	id := func(v int) int {
+		if vmap == nil {
+			return v
+		}
+		return vmap[v]
+	}
+	for v := 0; v < n; v++ {
+		for _, o := range offsets {
+			o = ((o % n) + n) % n
+			if o == 0 {
+				continue
+			}
+			b.AddEdge(id(v), id((v+o)%n))
+		}
+	}
+}
+
 // Expander returns a connected graph with maximum degree at most maxDegree
 // and conductance Θ(1): the union of maxDegree/2 independent uniformly random
 // Hamiltonian cycles. A single random cycle already makes the graph connected
@@ -180,26 +202,57 @@ func Expander(n, maxDegree int, rng *xrand.RNG) *graph.Graph {
 // to special, remove {u,w} and add {special,u}, {special,w}. This keeps u and
 // w at degree baseDegree and raises special by 2 per operation.
 func NearRegular(n, baseDegree, specialDegree, special int) (*graph.Graph, error) {
+	b := graph.NewBuilder(n)
+	if err := AppendNearRegular(b, nil, n, baseDegree, specialDegree, special, nil, nil); err != nil {
+		return nil, err
+	}
+	g := b.Build()
+	if g.Degree(special) != specialDegree {
+		return nil, fmt.Errorf("gen: NearRegular produced special degree %d, want %d", g.Degree(special), specialDegree)
+	}
+	return g, nil
+}
+
+// AppendNearRegular emits the edge set of NearRegular(n, baseDegree,
+// specialDegree, special) into b, renumbered through vmap (nil vmap is the
+// identity). removed1 and extraAdj are optional scratch slices of length >= n
+// (allocated when nil or too short); their contents are overwritten. The
+// rewiring plan is computed combinatorially over the circulant — every chord
+// candidate is an offset-1 edge, and special's adjacency is circulant
+// distance plus previously added chords — so no intermediate graphs are
+// built and the emitted edges match the historical rebuild-per-rewire
+// implementation exactly.
+func AppendNearRegular(b *graph.Builder, vmap []int, n, baseDegree, specialDegree, special int, removed1, extraAdj []bool) error {
 	if baseDegree < 2 || baseDegree%2 != 0 || specialDegree%2 != 0 ||
 		baseDegree >= n || specialDegree >= n || specialDegree < baseDegree {
-		return nil, fmt.Errorf("gen: NearRegular invalid parameters n=%d base=%d special=%d",
+		return fmt.Errorf("gen: NearRegular invalid parameters n=%d base=%d special=%d",
 			n, baseDegree, specialDegree)
 	}
 	if special < 0 || special >= n {
-		return nil, fmt.Errorf("gen: NearRegular special vertex %d out of range", special)
+		return fmt.Errorf("gen: NearRegular special vertex %d out of range", special)
 	}
-	offsets := make([]int, 0, baseDegree/2)
-	for o := 1; o <= baseDegree/2; o++ {
-		offsets = append(offsets, o)
+	if len(removed1) < n {
+		removed1 = make([]bool, n)
 	}
-	base := Circulant(n, offsets)
-	bu := graph.NewBuilder(n)
-	for _, e := range base.Edges() {
-		bu.AddEdge(e.U, e.V)
+	if len(extraAdj) < n {
+		extraAdj = make([]bool, n)
 	}
-
+	for i := 0; i < n; i++ {
+		removed1[i] = false
+		extraAdj[i] = false
+	}
+	// hasCirc reports adjacency in the base circulant (offsets 1..base/2).
+	hasCirc := func(a, c int) bool {
+		d := c - a
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			d = n - d
+		}
+		return d >= 1 && d <= baseDegree/2
+	}
 	extra := (specialDegree - baseDegree) / 2
-	// Candidate chord edges {u, u+1} far from the special vertex.
 	removed := 0
 	for shift := 2; removed < extra && shift < n-2; shift += 2 {
 		u := (special + shift) % n
@@ -207,29 +260,41 @@ func NearRegular(n, baseDegree, specialDegree, special int) (*graph.Graph, error
 		if u == special || w == special {
 			continue
 		}
-		if !bu.HasEdge(u, w) || bu.HasEdge(special, u) || bu.HasEdge(special, w) {
+		// The chord {u, w} must still exist (it is the offset-1 circulant
+		// edge at u; chords added to special never coincide with it since
+		// u, w != special), and neither endpoint may already be adjacent to
+		// special.
+		if removed1[u] || hasCirc(special, u) || extraAdj[u] || hasCirc(special, w) || extraAdj[w] {
 			continue
 		}
-		// Rewire: remove {u,w}, add {special,u} and {special,w}.
-		rebuilt := graph.NewBuilder(n)
-		cur := bu.Build()
-		for _, e := range cur.Edges() {
-			if (e.U == u && e.V == w) || (e.U == w && e.V == u) {
-				continue
-			}
-			rebuilt.AddEdge(e.U, e.V)
-		}
-		rebuilt.AddEdge(special, u)
-		rebuilt.AddEdge(special, w)
-		bu = rebuilt
+		removed1[u] = true
+		extraAdj[u] = true
+		extraAdj[w] = true
 		removed++
 	}
 	if removed < extra {
-		return nil, fmt.Errorf("gen: NearRegular could not reach degree %d (only %d rewires)", specialDegree, baseDegree+2*removed)
+		return fmt.Errorf("gen: NearRegular could not reach degree %d (only %d rewires)", specialDegree, baseDegree+2*removed)
 	}
-	g := bu.Build()
-	if g.Degree(special) != specialDegree {
-		return nil, fmt.Errorf("gen: NearRegular produced special degree %d, want %d", g.Degree(special), specialDegree)
+	id := func(v int) int {
+		if vmap == nil {
+			return v
+		}
+		return vmap[v]
 	}
-	return g, nil
+	// Base circulant minus the removed offset-1 chords.
+	for v := 0; v < n; v++ {
+		for o := 1; o <= baseDegree/2; o++ {
+			if o == 1 && removed1[v] {
+				continue
+			}
+			b.AddEdge(id(v), id((v+o)%n))
+		}
+	}
+	// The chords through the special vertex.
+	for v := 0; v < n; v++ {
+		if extraAdj[v] {
+			b.AddEdge(id(special), id(v))
+		}
+	}
+	return nil
 }

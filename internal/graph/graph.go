@@ -3,7 +3,8 @@
 // sets and basic traversals.
 //
 // Vertices are the integers 0..n-1. Graphs are immutable after Build; the
-// dynamic-network packages expose a fresh *Graph per time step.
+// dynamic-network packages expose a fresh *Graph per time step (possibly
+// recycling the backing arrays of a retired step via Builder.BuildInto).
 package graph
 
 import (
@@ -25,9 +26,23 @@ func (e Edge) Canonical() Edge {
 }
 
 // Builder accumulates edges and produces an immutable Graph.
+//
+// The builder is allocation-free in steady state: AddEdge appends to a
+// reusable edge buffer (duplicates and all), and Build deduplicates with two
+// stable counting-sort passes over vertex ids — no hash map, no
+// comparison sort. Reset recycles the builder (and its internal scratch) for
+// the next graph, which is what the dynamic networks do every time step.
 type Builder struct {
-	n     int
-	edges map[Edge]struct{}
+	n  int
+	eu []int // canonical endpoints (eu[i] < ev[i]) of every added edge,
+	ev []int // duplicates allowed; deduplicated at Build time
+
+	// Build scratch, reused across builds.
+	count []int // counting-sort histogram, length n+1
+	su    []int // radix pass 1 output (sorted by V)
+	sv    []int
+	tu    []int // radix pass 2 output (sorted by U, then V)
+	tv    []int
 }
 
 // NewBuilder returns a builder for a graph on n vertices.
@@ -36,7 +51,32 @@ func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Builder{n: n, edges: make(map[Edge]struct{})}
+	return &Builder{n: n}
+}
+
+// Reset re-targets the builder to a graph on n vertices, dropping all pending
+// edges while keeping the internal buffers for reuse. It panics if n < 0.
+func (b *Builder) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	b.n = n
+	b.eu = b.eu[:0]
+	b.ev = b.ev[:0]
+}
+
+// Grow reserves room for at least edges additional AddEdge calls, so a
+// caller that knows the emission volume up front (the paper constructions
+// do) skips the append doubling series on a cold builder.
+func (b *Builder) Grow(edges int) {
+	if need := len(b.eu) + edges; cap(b.eu) < need {
+		eu := make([]int, len(b.eu), need)
+		copy(eu, b.eu)
+		b.eu = eu
+		ev := make([]int, len(b.ev), need)
+		copy(ev, b.ev)
+		b.ev = ev
+	}
 }
 
 // AddEdge records the undirected edge {u, v}. Self-loops and duplicate edges
@@ -49,31 +89,134 @@ func (b *Builder) AddEdge(u, v int) {
 	if u == v {
 		return
 	}
-	b.edges[Edge{U: u, V: v}.Canonical()] = struct{}{}
-}
-
-// HasEdge reports whether {u,v} has been added.
-func (b *Builder) HasEdge(u, v int) bool {
-	_, ok := b.edges[Edge{U: u, V: v}.Canonical()]
-	return ok
-}
-
-// NumEdges returns the number of distinct edges added so far.
-func (b *Builder) NumEdges() int { return len(b.edges) }
-
-// Build produces the immutable graph. The builder remains usable.
-func (b *Builder) Build() *Graph {
-	edges := make([]Edge, 0, len(b.edges))
-	for e := range b.edges {
-		edges = append(edges, e)
+	if u > v {
+		u, v = v, u
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+	b.eu = append(b.eu, u)
+	b.ev = append(b.ev, v)
+}
+
+// HasEdge reports whether {u,v} has been added. It scans the pending edge
+// buffer in O(edges added); callers that need many membership queries during
+// construction should keep their own bitmap.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for i, eu := range b.eu {
+		if eu == u && b.ev[i] == v {
+			return true
 		}
-		return edges[i].V < edges[j].V
-	})
-	return FromEdges(b.n, edges)
+	}
+	return false
+}
+
+// NumEdges returns the number of distinct edges added so far. Like Build it
+// runs the counting-sort dedup pass, so it is O(n + edges added).
+func (b *Builder) NumEdges() int { return b.sortUnique() }
+
+// Build produces the immutable graph. The builder remains usable and keeps
+// its accumulated edges.
+func (b *Builder) Build() *Graph { return b.BuildInto(nil) }
+
+// BuildInto is Build recycling the backing arrays of dst (which must no
+// longer be in use) instead of allocating fresh ones when their capacity
+// suffices. A nil dst behaves like Build. It returns the built graph (dst
+// itself when dst is non-nil).
+//
+// Dynamic networks use this with two alternating buffers so that a steady
+// stream of rebuilt graphs allocates nothing, while the graph returned for
+// step t stays valid until the rebuild for step t+2.
+func (b *Builder) BuildInto(dst *Graph) *Graph {
+	m := b.sortUnique()
+	if dst == nil {
+		dst = &Graph{}
+	}
+	dst.n = b.n
+	if cap(dst.edges) >= m {
+		dst.edges = dst.edges[:m]
+	} else {
+		dst.edges = make([]Edge, m)
+	}
+	for i := 0; i < m; i++ {
+		dst.edges[i] = Edge{U: b.tu[i], V: b.tv[i]}
+	}
+	dst.rebuildCSR()
+	return dst
+}
+
+// sortUnique sorts the pending edge buffer into (tu, tv) by (U, V) with two
+// stable counting-sort passes and returns the number of distinct edges, which
+// occupy tu[:m], tv[:m] afterwards.
+func (b *Builder) sortUnique() int {
+	n, m := b.n, len(b.eu)
+	b.count = growInts(b.count, n+1)
+	b.su = growInts(b.su, m)
+	b.sv = growInts(b.sv, m)
+	b.tu = growInts(b.tu, m)
+	b.tv = growInts(b.tv, m)
+	count := b.count
+	// Pass 1: stable counting sort by V into (su, sv).
+	for i := range count {
+		count[i] = 0
+	}
+	for _, v := range b.ev {
+		count[v]++
+	}
+	sum := 0
+	for v := 0; v <= n; v++ {
+		c := count[v]
+		count[v] = sum
+		sum += c
+	}
+	for i := 0; i < m; i++ {
+		v := b.ev[i]
+		j := count[v]
+		count[v]++
+		b.su[j] = b.eu[i]
+		b.sv[j] = v
+	}
+	// Pass 2: stable counting sort by U into (tu, tv); the result is sorted
+	// by (U, V) because pass 1 was stable.
+	for i := range count {
+		count[i] = 0
+	}
+	for _, u := range b.su[:m] {
+		count[u]++
+	}
+	sum = 0
+	for u := 0; u <= n; u++ {
+		c := count[u]
+		count[u] = sum
+		sum += c
+	}
+	for i := 0; i < m; i++ {
+		u := b.su[i]
+		j := count[u]
+		count[u]++
+		b.tu[j] = u
+		b.tv[j] = b.sv[i]
+	}
+	// Drop adjacent duplicates.
+	uniq := 0
+	for i := 0; i < m; i++ {
+		if i > 0 && b.tu[i] == b.tu[i-1] && b.tv[i] == b.tv[i-1] {
+			continue
+		}
+		b.tu[uniq] = b.tu[i]
+		b.tv[uniq] = b.tv[i]
+		uniq++
+	}
+	return uniq
+}
+
+// growInts returns s resized to length n, reusing its capacity when possible
+// and growing amortized (append-style) otherwise. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s[:cap(s)], make([]int, n-cap(s))...)
 }
 
 // Graph is an immutable undirected simple graph in compressed adjacency form.
@@ -89,54 +232,58 @@ type Graph struct {
 // FromEdges builds a graph on n vertices from a list of edges. Duplicate
 // edges and self-loops are removed. It panics if any endpoint is out of range.
 func FromEdges(n int, edges []Edge) *Graph {
-	seen := make(map[Edge]struct{}, len(edges))
-	clean := make([]Edge, 0, len(edges))
+	b := NewBuilder(n)
 	for _, e := range edges {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			panic(fmt.Sprintf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n))
-		}
-		if e.U == e.V {
-			continue
-		}
-		c := e.Canonical()
-		if _, dup := seen[c]; dup {
-			continue
-		}
-		seen[c] = struct{}{}
-		clean = append(clean, c)
+		b.AddEdge(e.U, e.V)
 	}
-	sort.Slice(clean, func(i, j int) bool {
-		if clean[i].U != clean[j].U {
-			return clean[i].U < clean[j].U
-		}
-		return clean[i].V < clean[j].V
-	})
+	return b.Build()
+}
 
-	g := &Graph{n: n, edges: clean}
-	g.degree = make([]int, n)
-	for _, e := range clean {
+// fromSortedUniqueEdges builds a graph taking ownership of edges, which must
+// already be canonical (U < V), strictly sorted by (U, V), distinct and in
+// range — the invariants Graph.Edges() guarantees, so slices derived from an
+// existing graph (e.g. by InducedSubgraph's monotone renumbering) qualify
+// without a dedup pass.
+func fromSortedUniqueEdges(n int, edges []Edge) *Graph {
+	g := &Graph{n: n, edges: edges}
+	g.rebuildCSR()
+	return g
+}
+
+// rebuildCSR recomputes degree, adjOff, adj and volume from g.edges, which
+// must be canonical, sorted and distinct. Backing arrays are reused when
+// their capacity suffices. Neighbor lists come out sorted without an explicit
+// sort: scanning edges in (U,V) order appends the below-v neighbors of every
+// vertex v in increasing U order first and the above-v neighbors in
+// increasing V order after them.
+func (g *Graph) rebuildCSR() {
+	n, m := g.n, len(g.edges)
+	g.degree = growInts(g.degree, n)
+	for v := range g.degree {
+		g.degree[v] = 0
+	}
+	for _, e := range g.edges {
 		g.degree[e.U]++
 		g.degree[e.V]++
 	}
-	g.adjOff = make([]int, n+1)
+	g.adjOff = growInts(g.adjOff, n+1)
+	g.adjOff[0] = 0
 	for v := 0; v < n; v++ {
 		g.adjOff[v+1] = g.adjOff[v] + g.degree[v]
 	}
-	g.adj = make([]int, 2*len(clean))
-	fill := make([]int, n)
-	copy(fill, g.adjOff[:n])
-	for _, e := range clean {
-		g.adj[fill[e.U]] = e.V
-		fill[e.U]++
-		g.adj[fill[e.V]] = e.U
-		fill[e.V]++
+	g.adj = growInts(g.adj, 2*m)
+	// Reuse degree as the fill cursor and restore it afterwards from adjOff.
+	copy(g.degree, g.adjOff[:n])
+	for _, e := range g.edges {
+		g.adj[g.degree[e.U]] = e.V
+		g.degree[e.U]++
+		g.adj[g.degree[e.V]] = e.U
+		g.degree[e.V]++
 	}
 	for v := 0; v < n; v++ {
-		nb := g.adj[g.adjOff[v]:g.adjOff[v+1]]
-		sort.Ints(nb)
-		g.volume += g.degree[v]
+		g.degree[v] = g.adjOff[v+1] - g.adjOff[v]
 	}
-	return g
+	g.volume = 2 * m
 }
 
 // N returns the number of vertices.
@@ -155,6 +302,16 @@ func (g *Graph) Volume() int { return g.volume }
 // internal storage and must not be modified.
 func (g *Graph) Neighbors(v int) []int {
 	return g.adj[g.adjOff[v]:g.adjOff[v+1]]
+}
+
+// ForEachNeighbor calls fn for every neighbor of v in sorted order. It is the
+// allocation-free traversal the hot loops use: the compiler keeps the single
+// bounds-checked reslice outside the loop, and no neighbor slice header
+// escapes.
+func (g *Graph) ForEachNeighbor(v int, fn func(u int)) {
+	for _, u := range g.adj[g.adjOff[v]:g.adjOff[v+1]] {
+		fn(u)
+	}
 }
 
 // Neighbor returns the i-th neighbor of v (0-based, in sorted order).
@@ -240,16 +397,23 @@ func (g *Graph) VolumeOf(member []bool) int {
 	return vol
 }
 
+// AppendCutEdges appends the edges with exactly one endpoint in the set
+// marked true in member to dst and returns the extended slice. member must
+// have length N(). Callers that re-derive cuts per step pass a recycled dst
+// to keep the scan allocation-free.
+func (g *Graph) AppendCutEdges(dst []Edge, member []bool) []Edge {
+	for _, e := range g.edges {
+		if member[e.U] != member[e.V] {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}
+
 // CutEdges returns the edges with exactly one endpoint in the set marked true
 // in member. member must have length N().
 func (g *Graph) CutEdges(member []bool) []Edge {
-	var cut []Edge
-	for _, e := range g.edges {
-		if member[e.U] != member[e.V] {
-			cut = append(cut, e)
-		}
-	}
-	return cut
+	return g.AppendCutEdges(nil, member)
 }
 
 // CutSize returns the number of edges crossing the set marked true in member.
@@ -265,6 +429,10 @@ func (g *Graph) CutSize(member []bool) int {
 
 // InducedSubgraph returns the subgraph induced by the vertices marked true in
 // member, together with the mapping from new vertex ids to original ids.
+//
+// Because g.edges is sorted and the renumbering is monotone, the surviving
+// edges are already sorted and distinct, so the subgraph is assembled
+// directly in compressed form without the dedup pass.
 func (g *Graph) InducedSubgraph(member []bool) (*Graph, []int) {
 	oldToNew := make([]int, g.n)
 	var newToOld []int
@@ -282,7 +450,7 @@ func (g *Graph) InducedSubgraph(member []bool) (*Graph, []int) {
 			edges = append(edges, Edge{U: oldToNew[e.U], V: oldToNew[e.V]})
 		}
 	}
-	return FromEdges(len(newToOld), edges), newToOld
+	return fromSortedUniqueEdges(len(newToOld), edges), newToOld
 }
 
 // Validate checks internal invariants; it returns a descriptive error if any

@@ -61,6 +61,13 @@ func Streams(base *xrand.RNG, reps int) []*xrand.RNG {
 	return streams
 }
 
+// LocalJob is one Monte-Carlo repetition that additionally receives a
+// worker-local state L (a scratch buffer pool, a reusable simulator state,
+// ...). The state is shared by every repetition the same worker executes but
+// never by two concurrent repetitions, so it may be mutated freely; it must
+// not influence results — it is a recycling vehicle, not an input.
+type LocalJob[T, L any] func(rep int, rng *xrand.RNG, local L) (T, error)
+
 // Map runs fn for every repetition in [0, reps) across a pool of parallelism
 // workers (<= 0 selects GOMAXPROCS) and returns the results in repetition
 // order.
@@ -71,6 +78,17 @@ func Streams(base *xrand.RNG, reps int) []*xrand.RNG {
 // error of the lowest-indexed failure wrapped in a *RepError — again
 // independent of scheduling order.
 func Map[T any](parallelism, reps int, base *xrand.RNG, fn Job[T]) ([]T, error) {
+	return MapLocal(parallelism, reps, base, func() struct{} { return struct{}{} },
+		func(rep int, rng *xrand.RNG, _ struct{}) (T, error) { return fn(rep, rng) })
+}
+
+// MapLocal is Map with per-worker local state: newLocal is invoked once per
+// worker goroutine (once total in the serial case) and the returned state is
+// threaded through every repetition that worker executes. This is how the
+// engine gives each worker one reusable sim.Scratch for all of its
+// repetitions — the determinism contract is unchanged because the local
+// state carries no randomness and no results.
+func MapLocal[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L]) ([]T, error) {
 	if reps <= 0 {
 		return nil, nil
 	}
@@ -82,8 +100,9 @@ func Map[T any](parallelism, reps int, base *xrand.RNG, fn Job[T]) ([]T, error) 
 		workers = reps
 	}
 	if workers == 1 {
+		local := newLocal()
 		for i := 0; i < reps; i++ {
-			v, err := fn(i, streams[i])
+			v, err := fn(i, streams[i], local)
 			if err != nil {
 				return nil, &RepError{Rep: i, Err: err}
 			}
@@ -99,12 +118,13 @@ func Map[T any](parallelism, reps int, base *xrand.RNG, fn Job[T]) ([]T, error) 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			local := newLocal()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= reps {
 					return
 				}
-				v, err := fn(i, streams[i])
+				v, err := fn(i, streams[i], local)
 				if err != nil {
 					errs[i] = err
 					continue

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// ringGraph builds a small circulant so the tests do not depend on gen
+// (which would be an import cycle).
+func ringGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+		b.AddEdge(v, (v+2)%n)
+	}
+	return b.Build()
+}
+
+// TestRunAsyncIntoAllocFree is the per-repetition allocation gate of the
+// simulate loop: with a warmed scratch and a recycled result, a full
+// asynchronous repetition on a prebuilt network performs zero steady-state
+// heap allocations. (A Monte-Carlo worker also rebuilds its network per
+// repetition — that cost is the network family's business and is gated by
+// the dynamic package's per-step tests.)
+func TestRunAsyncIntoAllocFree(t *testing.T) {
+	net := dynamic.NewStatic(ringGraph(512))
+	rng := xrand.New(9)
+	sc := NewScratch()
+	var res Result
+	run := func() {
+		if _, err := RunAsyncInto(net, AsyncOptions{Start: 0}, rng, sc, &res); err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("run did not complete")
+		}
+	}
+	run() // warm up the scratch arrays
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("async repetition allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestRunSyncIntoAllocFree is the synchronous equivalent.
+func TestRunSyncIntoAllocFree(t *testing.T) {
+	net := dynamic.NewStatic(ringGraph(512))
+	rng := xrand.New(10)
+	sc := NewScratch()
+	var res Result
+	run := func() {
+		if _, err := RunSyncInto(net, SyncOptions{Start: 0}, rng, sc, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("sync repetition allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestRunFloodingIntoAllocFree covers the flooding baseline.
+func TestRunFloodingIntoAllocFree(t *testing.T) {
+	net := dynamic.NewStatic(ringGraph(512))
+	rng := xrand.New(11)
+	sc := NewScratch()
+	var res Result
+	run := func() {
+		if _, err := RunFloodingInto(net, SyncOptions{Start: 0}, rng, sc, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("flooding repetition allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestRunIntoMatchesRun pins the recycling contract: Run and RunInto must
+// consume the same stream and produce identical results, including when one
+// scratch and result are reused across runs of different sizes and modes.
+func TestRunIntoMatchesRun(t *testing.T) {
+	sc := NewScratch()
+	var reused Result
+	for trial, n := range []int{5, 97, 31, 256, 8} {
+		g := ringGraph(n)
+		net := dynamic.NewStatic(g)
+		opts := AsyncOptions{Start: trial % n, RecordTrace: true}
+		want, err := RunAsync(net, opts, xrand.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunAsyncInto(net, opts, xrand.New(uint64(trial)), sc, &reused)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SpreadTime != want.SpreadTime || got.Informed != want.Informed ||
+			got.Steps != want.Steps || got.Events != want.Events ||
+			got.Completed != want.Completed || len(got.Trace) != len(want.Trace) {
+			t.Fatalf("n=%d: RunAsyncInto diverged from RunAsync: got %+v, want %+v", n, got, want)
+		}
+		for i := range want.Trace {
+			if got.Trace[i] != want.Trace[i] {
+				t.Fatalf("n=%d: trace point %d differs", n, i)
+			}
+		}
+
+		sopts := SyncOptions{Start: trial % n, RecordTrace: true}
+		wantS, err := RunSync(net, sopts, xrand.New(uint64(trial)+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotS, err := RunSyncInto(net, sopts, xrand.New(uint64(trial)+100), sc, &reused)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotS.SpreadTime != wantS.SpreadTime || gotS.Informed != wantS.Informed || len(gotS.Trace) != len(wantS.Trace) {
+			t.Fatalf("n=%d: RunSyncInto diverged from RunSync", n)
+		}
+	}
+}

@@ -37,12 +37,28 @@ type AsyncOptions struct {
 // the memorylessness of exponential clocks has the same law as simulating
 // every tick.
 func RunAsync(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG) (*Result, error) {
+	return RunAsyncInto(net, opts, rng, nil, nil)
+}
+
+// RunAsyncInto is RunAsync with recycled state: sc provides the simulator's
+// working arrays and res the result to fill (either may be nil, in which
+// case a fresh one is used). The run consumes exactly the same random stream
+// and produces exactly the same result as RunAsync; with both arguments
+// recycled the steady-state loop performs zero heap allocations (traces
+// reuse the result's backing array once it has grown).
+func RunAsyncInto(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error) {
 	n := net.N()
 	if opts.Start < 0 || opts.Start >= n {
 		return nil, ErrInvalidStart
 	}
+	if res == nil {
+		res = &Result{}
+	}
 	if n == 0 {
-		return &Result{Completed: true}, nil
+		res.reset(0)
+		res.Informed = 0
+		res.Completed = true
+		return res, nil
 	}
 	mode := opts.Mode.normalize()
 	clockRate := opts.ClockRate
@@ -53,16 +69,14 @@ func RunAsync(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG) (*Result, 
 	if maxTime <= 0 {
 		maxTime = 16 * float64(n) * float64(n)
 	}
-
-	st := &asyncState{
-		n:        n,
-		mode:     mode,
-		rate:     clockRate,
-		informed: make([]bool, n),
-		weights:  newFenwick(n),
+	if sc == nil {
+		sc = NewScratch()
 	}
+
+	st := &sc.async
+	st.prepare(n, mode, clockRate)
 	st.informed[opts.Start] = true
-	res := &Result{N: n, Informed: 1}
+	res.reset(n)
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, TracePoint{Time: 0, Informed: 1})
 	}
@@ -78,10 +92,39 @@ func RunAsync(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG) (*Result, 
 			return res, nil
 		}
 		boundary := float64(step + 1)
-		// advance moves the clock to the next integer boundary and exposes the
-		// next graph; if the dynamic network returns the same *graph.Graph the
-		// incremental state is still valid and the O(n+m) reload is skipped.
-		advance := func() {
+		// An interval ends without an informative contact when the aggregate
+		// rate is zero (the exposed graph disconnects informed from
+		// uninformed vertices), when the sampled waiting time overshoots the
+		// unit boundary, or when rounding empties the cut; in each case the
+		// clock jumps to the boundary and the next graph is exposed. If the
+		// dynamic network returns the same *graph.Graph the incremental
+		// state is still valid and the O(n+m) reload is skipped.
+		advance := false
+		total := st.weights.Total()
+		if total <= 0 {
+			advance = true
+		} else {
+			wait := rng.Exp(total)
+			if now+wait >= boundary {
+				advance = true
+			} else {
+				now += wait
+				v := st.sampleNewlyInformed(rng)
+				if v < 0 {
+					// Numerically empty cut; treat like a zero-rate interval.
+					advance = true
+				} else {
+					st.inform(v)
+					res.Informed++
+					res.Events++
+					if opts.RecordTrace {
+						res.Trace = append(res.Trace, TracePoint{Time: now, Informed: res.Informed})
+					}
+					continue
+				}
+			}
+		}
+		if advance {
 			now = boundary
 			step++
 			res.Steps++
@@ -90,32 +133,6 @@ func RunAsync(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG) (*Result, 
 				g = next
 				st.loadGraph(g)
 			}
-		}
-		total := st.weights.Total()
-		if total <= 0 {
-			// No informative contact is possible in this interval (e.g. the
-			// exposed graph disconnects informed from uninformed vertices):
-			// jump to the next graph.
-			advance()
-			continue
-		}
-		wait := rng.Exp(total)
-		if now+wait >= boundary {
-			advance()
-			continue
-		}
-		now += wait
-		v := st.sampleNewlyInformed(rng)
-		if v < 0 {
-			// Numerically empty cut; treat like a zero-rate interval.
-			advance()
-			continue
-		}
-		st.inform(v)
-		res.Informed++
-		res.Events++
-		if opts.RecordTrace {
-			res.Trace = append(res.Trace, TracePoint{Time: now, Informed: res.Informed})
 		}
 	}
 	res.SpreadTime = now
@@ -144,23 +161,34 @@ type asyncState struct {
 	// counts[v] is the number of uninformed neighbors if v is informed, and
 	// the number of informed neighbors if v is uninformed.
 	counts  []int
-	weights *fenwick
+	weights fenwick
+}
+
+// prepare re-targets the state to a run on n vertices, recycling every
+// backing array.
+func (st *asyncState) prepare(n int, mode Mode, rate float64) {
+	st.n = n
+	st.mode = mode
+	st.rate = rate
+	st.g = nil
+	st.informed = growBools(st.informed, n)
+	st.counts = growInts(st.counts, n)
+	st.weights.Resize(n)
 }
 
 // loadGraph recomputes all counts and weights for a freshly exposed graph.
 func (st *asyncState) loadGraph(g *graph.Graph) {
 	st.g = g
-	if st.counts == nil {
-		st.counts = make([]int, st.n)
-	}
 	st.weights.Reset()
+	informed := st.informed
 	for v := 0; v < st.n; v++ {
 		cnt := 0
-		for _, u := range g.Neighbors(v) {
-			if st.informed[u] != st.informed[v] {
+		inf := informed[v]
+		g.ForEachNeighbor(v, func(u int) {
+			if informed[u] != inf {
 				cnt++
 			}
-		}
+		})
 		st.counts[v] = cnt
 		st.weights.Set(v, st.vertexWeight(v))
 	}

@@ -97,3 +97,17 @@ func (f *fenwick) Reset() {
 		f.weight[i] = 0
 	}
 }
+
+// Resize re-targets the tree to n indices with all weights zero, reusing the
+// backing arrays when their capacity suffices. It is the recycling form of
+// newFenwick used by the pooled simulator scratch.
+func (f *fenwick) Resize(n int) {
+	if cap(f.tree) >= n+1 && cap(f.weight) >= n {
+		f.tree = f.tree[:n+1]
+		f.weight = f.weight[:n]
+		f.Reset()
+		return
+	}
+	f.tree = make([]float64, n+1)
+	f.weight = make([]float64, n)
+}

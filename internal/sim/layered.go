@@ -48,7 +48,7 @@ type LayeredResult struct {
 // bounds the probability that the original algorithm crosses the whole string
 // within one time unit (Claim 4.3); experiment E12 validates that bound.
 func RunForwardTwoPush(g *graph.Graph, opts LayeredOptions, rng *xrand.RNG) (*LayeredResult, error) {
-	layers, layerOf, err := checkLayers(g, opts.Layers)
+	layers, _, err := checkLayers(g, opts.Layers)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +114,6 @@ func RunForwardTwoPush(g *graph.Graph, opts LayeredOptions, rng *xrand.RNG) (*La
 		}
 	}
 	res.InformedPerLayer = informedPerLayer
-	_ = layerOf
 	return res, nil
 }
 
@@ -139,7 +138,44 @@ func RunTwoPushOnLayers(g *graph.Graph, opts LayeredOptions, rng *xrand.RNG) (*L
 	}
 	k := len(layers) - 1
 
-	informed := make(map[int]bool)
+	// Precompute the layer-restricted adjacency once (a CSR over the graph's
+	// vertex ids, preserving neighbor order) instead of re-filtering and
+	// re-allocating a candidate slice on every push event: pushes are the hot
+	// loop and the filter result never changes.
+	layerIndex := make([]int, g.N())
+	for v := range layerIndex {
+		layerIndex[v] = -1
+	}
+	for v, i := range layerOf {
+		layerIndex[v] = i
+	}
+	candOff := make([]int, g.N()+1)
+	for v := 0; v < g.N(); v++ {
+		cnt := 0
+		if layerIndex[v] >= 0 {
+			for _, u := range g.Neighbors(v) {
+				if layerIndex[u] >= 0 {
+					cnt++
+				}
+			}
+		}
+		candOff[v+1] = candOff[v] + cnt
+	}
+	cands := make([]int, candOff[g.N()])
+	for v := 0; v < g.N(); v++ {
+		if layerIndex[v] < 0 {
+			continue
+		}
+		fill := candOff[v]
+		for _, u := range g.Neighbors(v) {
+			if layerIndex[u] >= 0 {
+				cands[fill] = u
+				fill++
+			}
+		}
+	}
+
+	informed := make([]bool, g.N())
 	var informedList []int
 	for _, v := range layers[0] {
 		informed[v] = true
@@ -160,12 +196,7 @@ func RunTwoPushOnLayers(g *graph.Graph, opts LayeredOptions, rng *xrand.RNG) (*L
 		}
 		src := informedList[rng.Intn(len(informedList))]
 		// Push to a uniformly random neighbor that belongs to a layer.
-		var candidates []int
-		for _, u := range g.Neighbors(src) {
-			if _, ok := layerOf[u]; ok {
-				candidates = append(candidates, u)
-			}
-		}
+		candidates := cands[candOff[src]:candOff[src+1]]
 		if len(candidates) == 0 {
 			continue
 		}
@@ -173,7 +204,7 @@ func RunTwoPushOnLayers(g *graph.Graph, opts LayeredOptions, rng *xrand.RNG) (*L
 		if !informed[dst] {
 			informed[dst] = true
 			informedList = append(informedList, dst)
-			li := layerOf[dst]
+			li := layerIndex[dst]
 			res.InformedPerLayer[li]++
 			if li == k && !res.ReachedLast {
 				res.ReachedLast = true

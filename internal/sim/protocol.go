@@ -22,16 +22,32 @@ type Protocol interface {
 	Kind() string
 }
 
+// ReusableProtocol is the optional extension a Protocol implements when its
+// simulator can recycle per-worker state: RunInto must behave exactly like
+// Run (same stream, same result) while drawing its working arrays from sc.
+// The engine's Monte-Carlo workers detect it and carry one Scratch across all
+// repetitions, which removes every per-repetition state allocation.
+type ReusableProtocol interface {
+	Protocol
+	// RunInto executes the process once, reusing sc (which must not be nil).
+	RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch) (*Result, error)
+}
+
 // AsyncProtocol runs the asynchronous push-pull process of Definition 1.
 type AsyncProtocol struct {
 	Opts AsyncOptions
 }
 
-var _ Protocol = AsyncProtocol{}
+var _ ReusableProtocol = AsyncProtocol{}
 
 // Run implements Protocol.
 func (p AsyncProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, error) {
 	return RunAsync(net, p.Opts, rng)
+}
+
+// RunInto implements ReusableProtocol.
+func (p AsyncProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch) (*Result, error) {
+	return RunAsyncInto(net, p.Opts, rng, sc, nil)
 }
 
 // Kind implements Protocol.
@@ -42,11 +58,16 @@ type SyncProtocol struct {
 	Opts SyncOptions
 }
 
-var _ Protocol = SyncProtocol{}
+var _ ReusableProtocol = SyncProtocol{}
 
 // Run implements Protocol.
 func (p SyncProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, error) {
 	return RunSync(net, p.Opts, rng)
+}
+
+// RunInto implements ReusableProtocol.
+func (p SyncProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch) (*Result, error) {
+	return RunSyncInto(net, p.Opts, rng, sc, nil)
 }
 
 // Kind implements Protocol.
@@ -57,11 +78,16 @@ type FloodingProtocol struct {
 	Opts SyncOptions
 }
 
-var _ Protocol = FloodingProtocol{}
+var _ ReusableProtocol = FloodingProtocol{}
 
 // Run implements Protocol.
 func (p FloodingProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, error) {
 	return RunFlooding(net, p.Opts, rng)
+}
+
+// RunInto implements ReusableProtocol.
+func (p FloodingProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch) (*Result, error) {
+	return RunFloodingInto(net, p.Opts, rng, sc, nil)
 }
 
 // Kind implements Protocol.

@@ -26,6 +26,12 @@ type SyncOptions struct {
 // paper's convention that the synchronous algorithm is synchronized with the
 // network dynamics.
 func RunSync(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result, error) {
+	return RunSyncInto(net, opts, rng, nil, nil)
+}
+
+// RunSyncInto is RunSync with recycled round buffers and result (either may
+// be nil for a fresh one); stream and output are identical to RunSync.
+func RunSyncInto(net dynamic.Network, opts SyncOptions, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error) {
 	n := net.N()
 	if opts.Start < 0 || opts.Start >= n {
 		return nil, ErrInvalidStart
@@ -35,10 +41,16 @@ func RunSync(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result, er
 	if maxRounds <= 0 {
 		maxRounds = 16 * n * n
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	if res == nil {
+		res = &Result{}
+	}
 
-	informed := make([]bool, n)
+	informed, next := sc.syncBuffers(n)
 	informed[opts.Start] = true
-	res := &Result{N: n, Informed: 1}
+	res.reset(n)
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, TracePoint{Time: 0, Informed: 1})
 	}
@@ -47,7 +59,6 @@ func RunSync(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result, er
 		return res, nil
 	}
 
-	next := make([]bool, n)
 	for round := 0; round < maxRounds; round++ {
 		g := net.GraphAt(round, informed)
 		res.Steps++
@@ -93,6 +104,12 @@ func RunSync(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result, er
 // vertex informs all of its neighbors in the current graph. This is the
 // baseline process studied in the related work on Markovian evolving graphs.
 func RunFlooding(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result, error) {
+	return RunFloodingInto(net, opts, rng, nil, nil)
+}
+
+// RunFloodingInto is RunFlooding with recycled round buffers and result
+// (either may be nil for a fresh one).
+func RunFloodingInto(net dynamic.Network, opts SyncOptions, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error) {
 	n := net.N()
 	if opts.Start < 0 || opts.Start >= n {
 		return nil, ErrInvalidStart
@@ -102,10 +119,16 @@ func RunFlooding(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result
 		maxRounds = 16 * n * n
 	}
 	_ = rng // flooding is deterministic given the network; kept for symmetry
+	if sc == nil {
+		sc = NewScratch()
+	}
+	if res == nil {
+		res = &Result{}
+	}
 
-	informed := make([]bool, n)
+	informed, next := sc.syncBuffers(n)
 	informed[opts.Start] = true
-	res := &Result{N: n, Informed: 1}
+	res.reset(n)
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, TracePoint{Time: 0, Informed: 1})
 	}
@@ -114,7 +137,6 @@ func RunFlooding(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result
 		return res, nil
 	}
 
-	next := make([]bool, n)
 	for round := 0; round < maxRounds; round++ {
 		g := net.GraphAt(round, informed)
 		res.Steps++
@@ -124,12 +146,12 @@ func RunFlooding(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result
 			if !informed[v] {
 				continue
 			}
-			for _, u := range g.Neighbors(v) {
+			g.ForEachNeighbor(v, func(u int) {
 				if !next[u] {
 					next[u] = true
 					newCount++
 				}
-			}
+			})
 		}
 		copy(informed, next)
 		res.Informed += newCount

@@ -192,11 +192,18 @@ func (r *RNG) Bernoulli(p float64) bool {
 // Perm returns a uniformly random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)),
+// consuming exactly the same random stream as Perm(len(p)). It is the
+// allocation-free form used by generators that rebuild graphs every step.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.Shuffle(p)
-	return p
 }
 
 // Shuffle permutes the slice in place (Fisher–Yates).

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench_to_json.sh — convert `go test -bench -benchmem` output on stdin into
+# a JSON document on stdout, so the BENCH_<date>.json trajectory files are
+# machine-readable. No dependencies beyond POSIX sh + awk.
+#
+# Usage: go test -run NONE -bench ... -benchmem . | scripts/bench_to_json.sh
+set -eu
+
+date_utc=$(date -u +%Y-%m-%d)
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+goversion=$(go version | awk '{print $3}')
+
+awk -v date="$date_utc" -v commit="$commit" -v goversion="$goversion" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, commit, goversion
+    first = 1
+}
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) printf ","
+    first = 0
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END {
+    print "\n  ]\n}"
+}
+'
