@@ -6,9 +6,10 @@ GO ?= go
 .PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke check clean
 
 # The anchor benchmarks tracked across PRs (see BENCH_*.json and
-# EXPERIMENTS.md): the Monte-Carlo engine fan-out plus the two hot-path
-# anchors of the allocation-free rebuild work.
-BENCH_ANCHORS := BenchmarkMonteCarlo|BenchmarkGNRhoConstructionN2048|BenchmarkAsyncDynamicStarN5000
+# EXPERIMENTS.md): the Monte-Carlo engine fan-out (batch + streaming), the
+# two hot-path anchors of the allocation-free rebuild work, and the
+# frontier-based flooding scan.
+BENCH_ANCHORS := BenchmarkMonteCarlo|BenchmarkGNRhoConstructionN2048|BenchmarkAsyncDynamicStarN5000|BenchmarkRunReduce1e5Reps|BenchmarkFloodingLargeN
 
 all: check
 
@@ -37,13 +38,18 @@ bench:
 
 # bench-json runs the anchor benchmarks and records them as a dated JSON
 # data point, so the performance trajectory of the repo is a committed,
-# machine-readable series (BENCH_<date>.json).
+# machine-readable series (BENCH_<date>.json). The delta_vs block inside the
+# new file compares it against the most recent committed point. A same-day
+# rerun gets a numeric suffix instead of overwriting history.
 bench-json:
 	$(GO) test -run NONE -bench '$(BENCH_ANCHORS)' -benchmem -benchtime=2s . > bench.out.tmp
 	@cat bench.out.tmp
-	sh scripts/bench_to_json.sh < bench.out.tmp > BENCH_$$(date -u +%Y-%m-%d).json
-	@rm -f bench.out.tmp
-	@echo "wrote BENCH_$$(date -u +%Y-%m-%d).json"
+	@out=BENCH_$$(date -u +%Y-%m-%d).json; i=2; \
+	while [ -e "$$out" ]; do out=BENCH_$$(date -u +%Y-%m-%d).$$i.json; i=$$((i+1)); done; \
+	sh scripts/bench_to_json.sh < bench.out.tmp > bench.json.tmp; \
+	mv bench.json.tmp "$$out"; \
+	rm -f bench.out.tmp; \
+	echo "wrote $$out"
 
 # bench-smoke is the CI guard: one iteration of every anchor, so the
 # benchmarks cannot rot even when nobody is looking at their numbers.

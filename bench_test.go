@@ -59,10 +59,12 @@ func BenchmarkE12Lemma42StringCrossing(b *testing.B)     { benchmarkExperiment(b
 // either way. These two benchmarks are the BENCH trajectory anchors for the
 // parallel runner.
 
+const monteCarloBenchReps = 96
+
 func benchmarkMonteCarlo(b *testing.B, parallelism int) {
 	b.Helper()
 	cfg := benchConfig()
-	cfg.Reps = 96
+	cfg.Reps = monteCarloBenchReps
 	cfg.Parallelism = parallelism
 	for i := 0; i < b.N; i++ {
 		tbl, err := rumor.RunExperiment("E6", cfg)
@@ -73,6 +75,10 @@ func benchmarkMonteCarlo(b *testing.B, parallelism int) {
 			b.Fatalf("E6 failed its shape checks:\n%s", tbl.Text())
 		}
 	}
+	// One op is a whole 96-repetition batch; report the per-repetition wall
+	// time too, so the worker sweep exposes scaling directly instead of
+	// hiding it inside a per-batch number.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/monteCarloBenchReps, "ns/rep")
 }
 
 func BenchmarkMonteCarloSerial(b *testing.B) { benchmarkMonteCarlo(b, 1) }
@@ -80,13 +86,34 @@ func BenchmarkMonteCarloSerial(b *testing.B) { benchmarkMonteCarlo(b, 1) }
 func BenchmarkMonteCarloParallel(b *testing.B) { benchmarkMonteCarlo(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkMonteCarloWorkers sweeps the worker count to expose the scaling
-// curve (flat on a single-core machine, ~linear up to the core count
-// otherwise).
+// curve in the ns/rep metric (flat on a single-core machine, ~linear up to
+// the core count otherwise).
 func BenchmarkMonteCarloWorkers(b *testing.B) {
 	for _, p := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
 			benchmarkMonteCarlo(b, p)
 		})
+	}
+}
+
+// BenchmarkRunReduce1e5Reps is the streaming-reduction anchor: 10⁵
+// repetitions of a small async scenario aggregated in O(1) memory. Watch
+// B/op — it is the whole batch's allocation footprint and must not scale
+// with the repetition count.
+func BenchmarkRunReduce1e5Reps(b *testing.B) {
+	eng := rumor.Engine{Seed: 20200424}
+	sc := rumor.Scenario{
+		Network: rumor.NetworkSpec{Family: "clique", Params: rumor.Params{"n": 24}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := eng.RunStats(sc, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Completed != st.Reps {
+			b.Fatal("incomplete repetitions on the clique")
+		}
 	}
 }
 
@@ -146,6 +173,25 @@ func BenchmarkFloodingTorus64x64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := rumor.SpreadFlooding(net, rumor.SyncOptions{Start: 0}, rng); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFloodingLargeN anchors the frontier-based flooding scan: on a
+// 512×512 torus the old scan-everyone loop touched all n vertices in every
+// one of the ~512 rounds, while the frontier only ever holds the expanding
+// diamond wavefront — O(n) work overall instead of O(n · rounds).
+func BenchmarkFloodingLargeN(b *testing.B) {
+	net := rumor.Static(rumor.Torus(512, 512))
+	rng := rumor.NewRNG(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rumor.SpreadFlooding(net, rumor.SyncOptions{Start: 0}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("flooding did not complete")
 		}
 	}
 }

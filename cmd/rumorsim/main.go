@@ -139,21 +139,42 @@ func buildScenario(opts options) (rumor.Scenario, error) {
 
 func simulate(sc rumor.Scenario, opts options, out *os.File) error {
 	eng := rumor.Engine{Parallelism: opts.parallel, Seed: opts.seed}
-	// The batch itself runs without trace recording: the CLI only reports
-	// summary statistics, and recording a TracePoint per informed vertex on
-	// every repetition would hold the whole ensemble's traces in memory for
-	// nothing. Trace recording does not consume randomness, so this changes
+	// The batch streams through Engine.RunReduce without trace recording:
+	// the CLI only reports summary statistics, so no repetition's result —
+	// let alone a TracePoint per informed vertex — needs to outlive its
+	// reduction, and memory stays O(1) no matter how large -reps is. The
+	// accumulators mirror the historical Ensemble aggregation operation for
+	// operation (sum in repetition order, then divide), so the printed
+	// numbers are byte-identical to the materializing implementation.
+	// Trace recording does not consume randomness, so stripping it changes
 	// no statistic.
 	batchSc := sc
 	batchSc.Trace = false
-	ens, err := eng.RunBatch(batchSc, opts.reps)
+	var (
+		sum, min, max float64
+		completed     int
+	)
+	err := eng.RunReduce(batchSc, opts.reps, func(rep int, res *rumor.Result) error {
+		t := res.SpreadTime
+		sum += t
+		if rep == 0 || t < min {
+			min = t
+		}
+		if rep == 0 || t > max {
+			max = t
+		}
+		if res.Completed {
+			completed++
+		}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	if opts.trace {
 		// Re-run repetition 0 with tracing on. Engine.Run draws the same
 		// private stream as the batch's first repetition, so the printed
-		// trajectory is exactly the one behind ens.Results[0].
+		// trajectory is exactly the one behind the batch's first result.
 		traceSc := sc
 		traceSc.Trace = true
 		first, err := eng.Run(traceSc)
@@ -164,7 +185,6 @@ func simulate(sc rumor.Scenario, opts options, out *os.File) error {
 			fmt.Fprintf(out, "trace t=%.4f informed=%d\n", p.Time, p.Informed)
 		}
 	}
-	min, max := ens.MinMaxSpreadTime()
 	label := sc.Name
 	if label == "" {
 		label = fmt.Sprintf("family=%s algo=%s", sc.Network.Family, describeAlgo(sc))
@@ -176,9 +196,9 @@ func simulate(sc rumor.Scenario, opts options, out *os.File) error {
 	} else {
 		label = "scenario=" + label
 	}
-	fmt.Fprintf(out, "%s reps=%d\n", label, ens.Reps())
+	fmt.Fprintf(out, "%s reps=%d\n", label, opts.reps)
 	fmt.Fprintf(out, "spread time: mean=%.3f min=%.3f max=%.3f (all completed: %v)\n",
-		ens.MeanSpreadTime(), min, max, ens.CompletionRate() == 1)
+		sum/float64(opts.reps), min, max, completed == opts.reps)
 	return nil
 }
 

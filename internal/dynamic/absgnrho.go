@@ -41,7 +41,7 @@ type AbsGNRho struct {
 	current  *graph.Graph
 }
 
-var _ Network = (*AbsGNRho)(nil)
+var _ Reusable = (*AbsGNRho)(nil)
 
 // NewAbsGNRho builds the Theorem 1.5 network on n vertices with target
 // absolute diligence rho (10/n <= rho <= 1).
@@ -62,11 +62,8 @@ func NewAbsGNRho(n int, rho float64, rng *xrand.RNG) (*AbsGNRho, error) {
 	if delta >= n/6-1 {
 		return nil, fmt.Errorf("dynamic: AbsGNRho rho=%v gives Delta=%d too large for n=%d", rho, delta, n)
 	}
-	a := &AbsGNRho{n: n, delta: delta, rng: rng, prevStep: -1}
+	a := &AbsGNRho{n: n, delta: delta}
 	a.inB = make([]bool, n)
-	for v := n / 2; v < n; v++ {
-		a.inB[v] = true
-	}
 	a.rb = newRebuilder(n)
 	a.removed1 = make([]bool, n)
 	a.extraAdj = make([]bool, n)
@@ -74,10 +71,23 @@ func NewAbsGNRho(n int, rho float64, rng *xrand.RNG) (*AbsGNRho, error) {
 	for o := 1; o <= delta/2; o++ {
 		a.offsets = append(a.offsets, o)
 	}
-	if err := a.rebuild(); err != nil {
+	if err := a.Reset(rng); err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// Reset implements Reusable: the network returns to the initial half/half
+// (A_0, B_0) partition and rebuilds from the new rng, recycling every scratch
+// buffer. The construction is deterministic given the partition, so like the
+// constructor Reset draws nothing from rng.
+func (a *AbsGNRho) Reset(rng *xrand.RNG) error {
+	a.rng = rng
+	a.prevStep = -1
+	for v := 0; v < a.n; v++ {
+		a.inB[v] = v >= a.n/2
+	}
+	return a.rebuild()
 }
 
 // N implements Network.

@@ -74,40 +74,50 @@ func (d *DichotomyG1) GraphAt(t int, _ []bool) *graph.Graph {
 // On this network the synchronous push-pull algorithm needs exactly n rounds
 // while the asynchronous algorithm finishes in Θ(log n) time.
 //
-// The star is re-emitted into a recycled builder and two alternating graph
-// buffers, so steady-state center moves allocate nothing; the graph exposed
-// at step t stays valid until the rebuild for step t+2.
+// The star is written in compressed form directly (graph.StarInto) into two
+// alternating graph buffers, so steady-state center moves allocate nothing
+// and skip the builder's sort passes entirely; the graph exposed at step t
+// stays valid until the rebuild for step t+2.
 type DichotomyG2 struct {
 	n       int // number of leaves; the network has n+1 vertices
 	rng     *xrand.RNG
 	center  int
 	prev    int
-	rb      rebuilder
+	graphs  [2]*graph.Graph
+	cur     int
 	current *graph.Graph
 }
 
-var _ Network = (*DichotomyG2)(nil)
+var _ Reusable = (*DichotomyG2)(nil)
 
 // NewDichotomyG2 builds the dynamic star on n+1 vertices (n >= 2).
 func NewDichotomyG2(n int, rng *xrand.RNG) (*DichotomyG2, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("dynamic: DichotomyG2 needs n >= 2, got %d", n)
 	}
-	d := &DichotomyG2{n: n, rng: rng, center: 0, prev: -1}
-	d.rb = newRebuilder(n + 1)
-	d.rebuildStar()
+	d := &DichotomyG2{n: n}
+	if err := d.Reset(rng); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
-// rebuildStar emits the star centered at d.center into the retired buffer.
+// Reset implements Reusable: the star returns to center 0 with the new rng,
+// recycling both graph buffers. The constructor draws nothing from rng, so
+// neither does Reset.
+func (d *DichotomyG2) Reset(rng *xrand.RNG) error {
+	d.rng = rng
+	d.center = 0
+	d.prev = -1
+	d.rebuildStar()
+	return nil
+}
+
+// rebuildStar writes the star centered at d.center into the retired buffer.
 func (d *DichotomyG2) rebuildStar() {
-	b := d.rb.begin(d.n + 1)
-	for v := 0; v <= d.n; v++ {
-		if v != d.center {
-			b.AddEdge(d.center, v)
-		}
-	}
-	d.current = d.rb.flip()
+	d.cur ^= 1
+	d.graphs[d.cur] = graph.StarInto(d.graphs[d.cur], d.n+1, d.center)
+	d.current = d.graphs[d.cur]
 }
 
 // N implements Network (n+1 vertices).

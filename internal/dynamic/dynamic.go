@@ -7,6 +7,7 @@ package dynamic
 
 import (
 	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
 )
 
 // Network is a dynamic evolving network over n vertices.
@@ -32,6 +33,20 @@ type Network interface {
 	N() int
 	// GraphAt returns the graph for step t given the informed set.
 	GraphAt(t int, informed []bool) *graph.Graph
+}
+
+// Reusable is the optional extension a Network implements when one instance
+// can be recycled across Monte-Carlo repetitions: Reset must return the
+// network to its as-constructed state for a fresh repetition, drawing from
+// rng exactly what the constructor would (draw for draw), while keeping every
+// backing buffer. A batch worker that resets a warm instance therefore
+// produces bit-identical repetitions to one that constructs a fresh instance
+// per repetition — without the per-repetition allocations. See
+// engine.RunBatchFrom, which detects this interface during batch compilation.
+type Reusable interface {
+	Network
+	// Reset re-initializes the network for a new repetition using rng.
+	Reset(rng *xrand.RNG) error
 }
 
 // Static wraps a single graph as a constant dynamic network.

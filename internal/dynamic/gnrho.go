@@ -40,7 +40,7 @@ type GNRho struct {
 	current *graph.Graph
 }
 
-var _ Network = (*GNRho)(nil)
+var _ Reusable = (*GNRho)(nil)
 
 // NewGNRho builds the Theorem 1.2 network on n vertices with target diligence
 // rho in [1/√n, 1]. k <= 0 selects the paper's default Θ(log n / log log n).
@@ -62,7 +62,7 @@ func NewGNRho(n int, rho float64, k int, rng *xrand.RNG) (*GNRho, error) {
 	if k*delta+1 > (3*n)/4 {
 		return nil, fmt.Errorf("dynamic: GNRho k=%d Delta=%d does not fit in |B| = 3n/4", k, delta)
 	}
-	g := &GNRho{n: n, k: k, delta: delta, rng: rng, prevStep: -1}
+	g := &GNRho{n: n, k: k, delta: delta}
 	g.rb = newRebuilder(n)
 	// Pre-size every rebuild buffer: the emission volume is known up front
 	// (kΔ² string edges, two 4-regular expanders, 2Δ² attachment edges), so
@@ -72,14 +72,25 @@ func NewGNRho(n int, rho float64, k int, rng *xrand.RNG) (*GNRho, error) {
 	g.sideB = make([]int, 0, n)
 	g.perm = make([]int, 0, n)
 	g.inB = make([]bool, n)
-	for v := n / 4; v < n; v++ {
-		g.inB[v] = true
-	}
-	g.sizeB = n - n/4
-	if err := g.rebuild(); err != nil {
+	if err := g.Reset(rng); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// Reset implements Reusable: the adversary returns to the initial
+// (A_0, B_0) partition and rebuilds H_{k,Δ} from the new rng, recycling the
+// builder, side lists and graph buffers. The rebuild consumes rng exactly as
+// the constructor's initial rebuild does, so a reset instance reproduces a
+// freshly constructed one draw for draw.
+func (g *GNRho) Reset(rng *xrand.RNG) error {
+	g.rng = rng
+	g.prevStep = -1
+	for v := 0; v < g.n; v++ {
+		g.inB[v] = v >= g.n/4
+	}
+	g.sizeB = g.n - g.n/4
+	return g.rebuild()
 }
 
 // N implements Network.

@@ -22,13 +22,14 @@ type EdgeMarkovian struct {
 	n       int
 	p, q    float64
 	rng     *xrand.RNG
-	present []bool // pair bitmap, index pairIndex(u, v)
+	initial *graph.Graph // chain start state, kept for Reset (may be nil)
+	present []bool       // pair bitmap, index pairIndex(u, v)
 	rb      rebuilder
 	current *graph.Graph
 	prev    int
 }
 
-var _ Network = (*EdgeMarkovian)(nil)
+var _ Reusable = (*EdgeMarkovian)(nil)
 
 // NewEdgeMarkovian creates an edge-Markovian network on n vertices starting
 // from the given initial graph (nil starts from the empty graph).
@@ -39,19 +40,34 @@ func NewEdgeMarkovian(n int, p, q float64, initial *graph.Graph, rng *xrand.RNG)
 	if p < 0 || p > 1 || q < 0 || q > 1 {
 		return nil, fmt.Errorf("dynamic: EdgeMarkovian needs p, q in [0,1], got p=%v q=%v", p, q)
 	}
-	em := &EdgeMarkovian{n: n, p: p, q: q, rng: rng, prev: 0}
+	if initial != nil && initial.N() != n {
+		return nil, fmt.Errorf("dynamic: EdgeMarkovian initial graph has %d vertices, want %d", initial.N(), n)
+	}
+	em := &EdgeMarkovian{n: n, p: p, q: q, initial: initial}
 	em.present = make([]bool, n*(n-1)/2)
 	em.rb = newRebuilder(n)
-	if initial != nil {
-		if initial.N() != n {
-			return nil, fmt.Errorf("dynamic: EdgeMarkovian initial graph has %d vertices, want %d", initial.N(), n)
-		}
-		for _, e := range initial.Edges() {
+	if err := em.Reset(rng); err != nil {
+		return nil, err
+	}
+	return em, nil
+}
+
+// Reset implements Reusable: the chain returns to the initial graph with the
+// new rng, recycling the pair bitmap and graph buffers. Like the constructor
+// it draws nothing from rng (the chain only draws on transitions).
+func (em *EdgeMarkovian) Reset(rng *xrand.RNG) error {
+	em.rng = rng
+	em.prev = 0
+	for i := range em.present {
+		em.present[i] = false
+	}
+	if em.initial != nil {
+		for _, e := range em.initial.Edges() {
 			em.present[em.pairIndex(e.U, e.V)] = true
 		}
 	}
 	em.materialize()
-	return em, nil
+	return nil
 }
 
 // pairIndex maps the canonical pair (u, v) with u < v to its position in the
@@ -132,7 +148,7 @@ type MobileAgents struct {
 	prev      int
 }
 
-var _ Network = (*MobileAgents)(nil)
+var _ Reusable = (*MobileAgents)(nil)
 
 // cellOffsets are the same-cell and 4-neighbor probes of the proximity rule.
 var cellOffsets = [5][2]int{{0, 0}, {0, 1}, {1, 0}, {0, -1}, {-1, 0}}
@@ -143,19 +159,32 @@ func NewMobileAgents(agents, side int, rng *xrand.RNG) (*MobileAgents, error) {
 	if agents < 2 || side < 2 {
 		return nil, fmt.Errorf("dynamic: MobileAgents needs agents >= 2 and side >= 2")
 	}
-	m := &MobileAgents{agents: agents, side: side, rng: rng, prev: 0}
+	m := &MobileAgents{agents: agents, side: side}
 	m.posR = make([]int, agents)
 	m.posC = make([]int, agents)
-	for i := 0; i < agents; i++ {
-		m.posR[i] = rng.Intn(side)
-		m.posC[i] = rng.Intn(side)
-	}
 	m.cellStart = make([]int, side*side+1)
 	m.cellFill = make([]int, side*side)
 	m.byCell = make([]int, agents)
 	m.rb = newRebuilder(agents)
-	m.materialize()
+	if err := m.Reset(rng); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// Reset implements Reusable: the agents are re-placed uniformly at random
+// from the new rng — the same 2·agents Intn draws, in the same order, as the
+// constructor — and the proximity graph is re-derived into the recycled
+// buffers.
+func (m *MobileAgents) Reset(rng *xrand.RNG) error {
+	m.rng = rng
+	m.prev = 0
+	for i := 0; i < m.agents; i++ {
+		m.posR[i] = rng.Intn(m.side)
+		m.posC[i] = rng.Intn(m.side)
+	}
+	m.materialize()
+	return nil
 }
 
 // N implements Network (the vertices are the agents).

@@ -3,6 +3,9 @@ package engine
 import (
 	"fmt"
 
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/graph"
 	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/sim"
 	"dynamicrumor/internal/xrand"
@@ -47,44 +50,236 @@ func (e Engine) RunBatch(sc Scenario, reps int) (*Ensemble, error) {
 // deterministic experiment (the E1–E12 suite) can hand the engine a derived
 // stream; most callers want RunBatch.
 //
-// The base generator is advanced reps times before any repetition starts and
-// must not be used concurrently with this call.
+// The scenario is compiled once before the fan-out (see compileScenario):
+// immutable networks are built a single time and shared read-only by every
+// worker, and each worker recycles its builders, network instances and
+// simulator scratch across all of its repetitions. Compilation never changes
+// results — every repetition consumes exactly the RNG stream the historical
+// build-per-repetition loop consumed.
+//
+// The base generator is advanced reps times over the course of the call and
+// must not be used concurrently with it.
 func (e Engine) RunBatchFrom(sc Scenario, reps int, base *xrand.RNG) (*Ensemble, error) {
-	if err := sc.Validate(); err != nil {
+	cs, err := compileScenario(sc)
+	if err != nil {
 		return nil, err
 	}
 	if reps < 1 {
 		return nil, fmt.Errorf("engine: reps must be >= 1, got %d", reps)
 	}
-	results, err := runner.MapLocal(e.Parallelism, reps, base, sim.NewScratch,
-		func(rep int, sub *xrand.RNG, scratch *sim.Scratch) (*sim.Result, error) {
-			// The stream discipline below — Split(1) for the network, Split(2)
-			// for the protocol — is a compatibility contract: it reproduces the
-			// historical serial loops bit for bit. Do not reorder.
-			net, start, err := buildNetwork(sc.Network, sub.Split(1))
-			if err != nil {
-				return nil, fmt.Errorf("build network: %w", err)
-			}
-			if sc.Start != nil {
-				start = *sc.Start
-			}
-			proto := sc.protocolFor(start)
-			// Every worker reuses one scratch across all of its repetitions;
-			// RunInto is contractually stream- and output-identical to Run, so
-			// this is purely an allocation optimization.
-			var res *sim.Result
-			if rp, ok := proto.(sim.ReusableProtocol); ok {
-				res, err = rp.RunInto(net, sub.Split(2), scratch)
-			} else {
-				res, err = proto.Run(net, sub.Split(2))
-			}
-			if err != nil {
-				return nil, fmt.Errorf("%s run: %w", proto.Kind(), err)
-			}
-			return res, nil
+	results, err := runner.MapLocal(e.Parallelism, reps, base, newWorkerState,
+		func(rep int, sub *xrand.RNG, ws *workerState) (*sim.Result, error) {
+			// Results are retained by the ensemble, so this path hands the
+			// simulator a nil result and lets it allocate a fresh one.
+			return cs.runRep(sub, ws, nil)
 		})
 	if err != nil {
 		return nil, err
 	}
 	return &Ensemble{Scenario: sc, Results: results}, nil
+}
+
+// Reducer consumes one repetition's result. The engine calls it in strict
+// repetition order (0, 1, 2, ...), never concurrently, so it can fold into
+// plain accumulators without locking. The result is only valid for the
+// duration of the call — the worker recycles it for its next repetition —
+// so a reducer extracts what it needs and must not retain res or its trace.
+type Reducer func(rep int, res *sim.Result) error
+
+// RunReduce executes reps repetitions like RunBatch but streams each result
+// into reduce instead of materializing an Ensemble: memory stays O(workers)
+// no matter how large reps is, which is what makes 10⁵–10⁶-repetition
+// ensembles practical. Repetition i's result is bit-identical to
+// RunBatch's Results[i] — the two entry points share the compiled scenario
+// and the per-repetition stream discipline — and the reduction order is the
+// repetition order for every Parallelism value.
+//
+// A failing repetition (or a reducer error) aborts the run after every
+// earlier repetition has been reduced; the returned error identifies the
+// lowest failing repetition deterministically.
+func (e Engine) RunReduce(sc Scenario, reps int, reduce Reducer) error {
+	return e.RunReduceFrom(sc, reps, xrand.New(e.Seed), reduce)
+}
+
+// RunReduceFrom is RunReduce with an explicit base generator in place of the
+// engine seed, mirroring RunBatchFrom.
+func (e Engine) RunReduceFrom(sc Scenario, reps int, base *xrand.RNG, reduce Reducer) error {
+	cs, err := compileScenario(sc)
+	if err != nil {
+		return err
+	}
+	if reps < 1 {
+		return fmt.Errorf("engine: reps must be >= 1, got %d", reps)
+	}
+	return runner.MapReduce(e.Parallelism, reps, base, newWorkerState,
+		func(rep int, sub *xrand.RNG, ws *workerState) (*sim.Result, error) {
+			// The worker's one recycled result is safe here: MapReduce
+			// guarantees it is reduced before the worker starts its next
+			// repetition.
+			return cs.runRep(sub, ws, &ws.res)
+		},
+		runner.Reducer[*sim.Result](reduce))
+}
+
+// compiledScenario is a scenario compiled for a batch: the validation and
+// every piece of per-batch work is done once, and the per-repetition job is
+// reduced to (derive streams, obtain network, run protocol). Exactly one of
+// the four network strategies is set:
+//
+//   - shared: an immutable network (deterministic static family, or a
+//     shareable dynamic family) built once and read concurrently by all
+//     workers;
+//   - staticFam: a random static family rebuilt every repetition through the
+//     worker's recycled builder and graph buffer (gen.BuildInto);
+//   - dynFam: a stateful dynamic family; each worker builds one instance and
+//     re-initializes it per repetition via dynamic.Reusable when supported;
+//   - custom: a programmatic factory, invoked once per repetition.
+type compiledScenario struct {
+	sc           Scenario
+	shared       dynamic.Network
+	sharedStart  int
+	staticFam    string
+	staticParams gen.Params
+	dynFam       *dynamicFamily
+	dynParams    gen.Params
+	custom       NetworkFactory
+}
+
+// compileScenario validates the scenario and selects its execution strategy.
+// Deterministic constructions are materialized here, before the fan-out; the
+// no-draw contract of gen.Family.Deterministic and dynamicFamily.shareable is
+// what makes sharing them invisible to every repetition's RNG stream.
+func compileScenario(sc Scenario) (*compiledScenario, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	cs := &compiledScenario{sc: sc}
+	ns := sc.Network
+	switch {
+	case ns.Custom != nil:
+		cs.custom = ns.Custom
+	case dynamicFamilies[ns.Family].build != nil:
+		fam := dynamicFamilies[ns.Family]
+		if fam.shareable {
+			net, start, err := fam.build(ns.Params, nil)
+			if err != nil {
+				return nil, fmt.Errorf("build network: %w", err)
+			}
+			cs.shared, cs.sharedStart = net, start
+		} else {
+			cs.dynFam, cs.dynParams = &fam, ns.Params
+		}
+	case gen.IsDeterministic(ns.Family):
+		// The nil rng makes a family that violates the no-draw contract fail
+		// loudly instead of silently skewing sibling repetitions' streams.
+		g, err := gen.Build(ns.Family, ns.Params, nil)
+		if err != nil {
+			return nil, fmt.Errorf("build network: %w", err)
+		}
+		cs.shared = dynamic.NewStatic(g)
+		cs.sharedStart = gen.DefaultStart(ns.Family, ns.Params, g)
+	default:
+		cs.staticFam, cs.staticParams = ns.Family, ns.Params
+	}
+	return cs, nil
+}
+
+// workerState is the recycled state one batch worker carries across all of
+// its repetitions: simulator scratch, a result buffer (reduce path only),
+// the two per-repetition RNG values, and the network recycling machinery of
+// whichever strategy the compiled scenario selected. None of it influences
+// results — it is storage reuse, not input.
+type workerState struct {
+	scratch  *sim.Scratch
+	res      sim.Result
+	netRNG   xrand.RNG
+	protoRNG xrand.RNG
+
+	// Random static families: recycled builder + emitter scratch + graph +
+	// wrapper.
+	builder *graph.Builder
+	emit    gen.EmitScratch
+	g       *graph.Graph
+	static  *dynamic.Static
+
+	// Dynamic families: the worker's cached instance and its start vertex.
+	dyn      dynamic.Network
+	dynStart int
+
+	// Cached protocol value, rebuilt only if the start vertex changes.
+	proto      sim.Protocol
+	protoStart int
+	reuse      sim.ReusableProtocol
+	reuseOK    bool
+}
+
+func newWorkerState() *workerState { return &workerState{scratch: sim.NewScratch()} }
+
+// runRep executes one repetition. The stream discipline — Split(1) for the
+// network, Split(2) for the protocol — is a compatibility contract: it
+// reproduces the historical serial loops bit for bit. Do not reorder. Shared
+// and recycled networks keep the discipline intact because deriving the
+// network stream consumes exactly one base draw whether or not the network
+// then uses it.
+func (cs *compiledScenario) runRep(sub *xrand.RNG, ws *workerState, res *sim.Result) (*sim.Result, error) {
+	sub.SplitInto(1, &ws.netRNG)
+	var (
+		net   dynamic.Network
+		start int
+		err   error
+	)
+	switch {
+	case cs.shared != nil:
+		net, start = cs.shared, cs.sharedStart
+	case cs.custom != nil:
+		net, start, err = cs.custom(&ws.netRNG)
+	case cs.dynFam != nil:
+		if r, ok := ws.dyn.(dynamic.Reusable); ok {
+			err = r.Reset(&ws.netRNG)
+			net, start = ws.dyn, ws.dynStart
+		} else {
+			net, start, err = cs.dynFam.build(cs.dynParams, &ws.netRNG)
+			if err == nil {
+				ws.dyn, ws.dynStart = net, start
+			}
+		}
+	default:
+		if ws.builder == nil {
+			ws.builder = graph.NewBuilder(0)
+		}
+		var g *graph.Graph
+		g, err = gen.BuildInto(cs.staticFam, cs.staticParams, &ws.netRNG, ws.builder, ws.g, &ws.emit)
+		if err == nil {
+			if ws.static == nil || g != ws.g {
+				ws.static = dynamic.NewStatic(g)
+			}
+			ws.g = g
+			net, start = ws.static, gen.DefaultStart(cs.staticFam, cs.staticParams, g)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("build network: %w", err)
+	}
+	if cs.sc.Start != nil {
+		start = *cs.sc.Start
+	}
+	if ws.proto == nil || start != ws.protoStart {
+		ws.proto = cs.sc.protocolFor(start)
+		ws.protoStart = start
+		ws.reuse, ws.reuseOK = ws.proto.(sim.ReusableProtocol)
+	}
+	sub.SplitInto(2, &ws.protoRNG)
+	// Every worker reuses one scratch (and, on the reduce path, one result)
+	// across all of its repetitions; RunInto is contractually stream- and
+	// output-identical to Run, so this is purely an allocation optimization.
+	var out *sim.Result
+	if ws.reuseOK {
+		out, err = ws.reuse.RunInto(net, &ws.protoRNG, ws.scratch, res)
+	} else {
+		out, err = ws.proto.Run(net, &ws.protoRNG)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s run: %w", ws.proto.Kind(), err)
+	}
+	return out, nil
 }

@@ -93,3 +93,51 @@ func (e *Ensemble) TimeToFraction(fraction float64) (times []float64, reached in
 func (e *Ensemble) TimeToFractionQuantiles(fraction float64) (median, q90 float64, err error) {
 	return analysis.FractionQuantiles(e.Results, fraction)
 }
+
+// BatchStats is the O(1)-memory aggregate of a streaming batch run: exact
+// running moments and extremes of the spread time, P² estimates for its
+// median and 0.9-quantile, and the completion count. Unlike an Ensemble it
+// retains no per-repetition results, so it is the right aggregate for
+// 10⁵–10⁶-repetition runs.
+type BatchStats struct {
+	// SpreadTime accumulates every repetition's spread time: exact
+	// mean/variance/min/max plus P² median and 0.9-quantile estimates
+	// (QuantileEstimate(0) and (1) respectively).
+	SpreadTime *stats.Stream
+	// Completed counts repetitions that informed every vertex before their
+	// limit.
+	Completed int
+	// Reps is the number of repetitions aggregated.
+	Reps int
+}
+
+// CompletionRate returns the fraction of repetitions that completed.
+func (b *BatchStats) CompletionRate() float64 {
+	if b.Reps == 0 {
+		return 0
+	}
+	return float64(b.Completed) / float64(b.Reps)
+}
+
+// RunStats executes reps repetitions through RunReduce and folds each result
+// into a BatchStats as it is produced: memory is O(1) in reps while the
+// repetitions themselves are bit-identical to RunBatch's. The exact
+// statistics (mean, variance, min, max, completion rate) match a RunBatch
+// aggregation up to floating-point accumulation order; the quantiles are P²
+// estimates, not exact order statistics — callers needing exact quantiles
+// over the full sample use RunReduce and collect the values themselves.
+func (e Engine) RunStats(sc Scenario, reps int) (*BatchStats, error) {
+	b := &BatchStats{SpreadTime: stats.NewStream(0.5, 0.9)}
+	err := e.RunReduce(sc, reps, func(rep int, res *sim.Result) error {
+		b.SpreadTime.Add(res.SpreadTime)
+		if res.Completed {
+			b.Completed++
+		}
+		b.Reps++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}

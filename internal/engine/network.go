@@ -53,10 +53,16 @@ func (ns NetworkSpec) validate() error {
 }
 
 // dynamicFamily describes one of the genuinely dynamic network families:
-// its builder and the parameter keys it accepts.
+// its builder, the parameter keys it accepts, and whether one built instance
+// may be shared read-only by every repetition.
 type dynamicFamily struct {
 	keys  []string
 	build func(p gen.Params, rng *xrand.RNG) (dynamic.Network, int, error)
+	// shareable declares that build ignores its rng and the built network is
+	// immutable — GraphAt neither draws nor mutates — so batch compilation
+	// constructs it once and shares it across workers, like a deterministic
+	// static family.
+	shareable bool
 }
 
 // dynamicFamilies registers the dynamic constructions of the paper and the
@@ -75,8 +81,10 @@ var dynamicFamilies = map[string]dynamicFamily{
 		}
 		return net, net.StartVertex(), nil
 	}},
-	// The clique-with-pendant → bridged-cliques network of Figure 1(a).
-	"dichotomy-g1": {keys: []string{"n"}, build: func(p gen.Params, _ *xrand.RNG) (dynamic.Network, int, error) {
+	// The clique-with-pendant → bridged-cliques network of Figure 1(a): both
+	// step graphs are prebuilt and GraphAt only selects between them, so one
+	// instance serves every repetition.
+	"dichotomy-g1": {keys: []string{"n"}, shareable: true, build: func(p gen.Params, _ *xrand.RNG) (dynamic.Network, int, error) {
 		n, err := p.NeedInt("dichotomy-g1", "n", 2)
 		if err != nil {
 			return nil, 0, err
@@ -144,24 +152,6 @@ var dynamicFamilies = map[string]dynamicFamily{
 		}
 		return net, 0, nil
 	}},
-}
-
-// buildNetwork materializes a spec into a network plus the start vertex the
-// family designates (the scenario may override it). The spec is assumed
-// already validated (Engine.RunBatchFrom validates once, before the fan-out);
-// an unknown family still fails cleanly through the registry lookups.
-func buildNetwork(ns NetworkSpec, rng *xrand.RNG) (dynamic.Network, int, error) {
-	if ns.Custom != nil {
-		return ns.Custom(rng)
-	}
-	if fam, ok := dynamicFamilies[ns.Family]; ok {
-		return fam.build(ns.Params, rng)
-	}
-	g, err := gen.Build(ns.Family, ns.Params, rng)
-	if err != nil {
-		return nil, 0, err
-	}
-	return dynamic.NewStatic(g), gen.DefaultStart(ns.Family, ns.Params, g), nil
 }
 
 // Families returns every buildable family name — static graph families from

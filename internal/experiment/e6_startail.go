@@ -1,14 +1,11 @@
 package experiment
 
 import (
-	"fmt"
 	"math"
 
-	"dynamicrumor/internal/dynamic"
-	"dynamicrumor/internal/runner"
-	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/gen"
 	"dynamicrumor/internal/stats"
-	"dynamicrumor/internal/xrand"
 )
 
 // RunE6 reproduces Theorem 1.7(iii): on the dynamic star the asynchronous
@@ -28,19 +25,14 @@ func RunE6(cfg Config) (*Table, error) {
 		reps = cfg.reps(120)
 	}
 
+	// The declarative dynamic-star family (n+1 total vertices, rumor at leaf
+	// 1) is exactly the historical NewDichotomyG2(n)-per-repetition loop, but
+	// through the engine's batch compilation each worker recycles one star
+	// instance across all of its repetitions — same streams, same times.
 	rng := cfg.rng(600)
-	times, err := runner.MapLocal(cfg.Parallelism, reps, rng, newRepScratch,
-		func(rep int, sub *xrand.RNG, rs *repScratch) (float64, error) {
-			net, err := dynamic.NewDichotomyG2(n, sub.Split(1))
-			if err != nil {
-				return 0, fmt.Errorf("dynamic star: %w", err)
-			}
-			res, err := sim.RunAsyncInto(net, sim.AsyncOptions{Start: net.StartVertex()}, sub.Split(2), rs.sc, &rs.res)
-			if err != nil {
-				return 0, fmt.Errorf("async run: %w", err)
-			}
-			return res.SpreadTime, nil
-		})
+	times, err := measure(cfg, nil, reps, rng, engine.Scenario{
+		Network: engine.NetworkSpec{Family: "dynamic-star", Params: gen.Params{"n": float64(n + 1)}},
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -20,14 +20,26 @@ type networkFactory = engine.NetworkFactory
 // (network from stream Split(1), protocol from Split(2)), so tables are
 // unchanged by the migration. For runs that hit the cutoff the cutoff time is
 // recorded; callers decide whether that matters.
+//
+// The batch streams through Engine.RunReduceFrom: only the spread-time
+// scalars survive a repetition, so memory is one float64 per repetition
+// instead of a retained sim.Result — the experiments only ever aggregate
+// spread times, and exact (not estimated) quantiles over the full sample are
+// what keeps the tables byte-identical.
 func measure(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, sc engine.Scenario) ([]float64, error) {
-	sc.Network = engine.NetworkSpec{Custom: factory}
+	if factory != nil {
+		sc.Network = engine.NetworkSpec{Custom: factory}
+	}
 	eng := engine.Engine{Parallelism: cfg.Parallelism}
-	ens, err := eng.RunBatchFrom(sc, reps, rng)
+	times := make([]float64, reps)
+	err := eng.RunReduceFrom(sc, reps, rng, func(rep int, res *sim.Result) error {
+		times[rep] = res.SpreadTime
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return ens.SpreadTimes(), nil
+	return times, nil
 }
 
 // measureAsync runs the asynchronous simulator reps times and returns the

@@ -14,12 +14,20 @@ import (
 // Clique returns the complete graph K_n.
 func Clique(n int) *graph.Graph {
 	b := graph.NewBuilder(n)
+	AppendClique(b, n)
+	return b.Build()
+}
+
+// AppendClique emits the edges of the complete graph on vertices 0..n-1 into
+// b (which must already accommodate n vertices). It is the shared emission
+// primitive behind Clique and the degenerate complete-graph branches of the
+// random-family emitters.
+func AppendClique(b *graph.Builder, n int) {
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			b.AddEdge(u, v)
 		}
 	}
-	return b.Build()
 }
 
 // Star returns the star K_{1,n-1} with the given center vertex.
@@ -158,11 +166,7 @@ func Barbell(k int) *graph.Graph {
 // network G1 in Figure 1(a) of the paper. The total vertex count is n+1.
 func CliqueWithPendant(n int) *graph.Graph {
 	b := graph.NewBuilder(n + 1)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			b.AddEdge(u, v)
-		}
-	}
+	AppendClique(b, n)
 	if n >= 1 {
 		b.AddEdge(0, n)
 	}

@@ -12,11 +12,22 @@ import (
 // Batagelj and Brandes, which runs in expected O(n + m) time.
 func ErdosRenyi(n int, p float64, rng *xrand.RNG) *graph.Graph {
 	b := graph.NewBuilder(n)
+	AppendErdosRenyi(b, n, p, rng)
+	return b.Build()
+}
+
+// AppendErdosRenyi resets b to n vertices and emits one G(n, p) sample into
+// it, consuming exactly the stream ErdosRenyi consumes (which is implemented
+// on top of it). The emission is allocation-free in a warm builder, so batch
+// workers can redraw a fresh G(n, p) instance every repetition for free.
+func AppendErdosRenyi(b *graph.Builder, n int, p float64, rng *xrand.RNG) {
+	b.Reset(n)
 	if n <= 1 || p <= 0 {
-		return b.Build()
+		return
 	}
 	if p >= 1 {
-		return Clique(n)
+		AppendClique(b, n)
+		return
 	}
 	logQ := math.Log(1 - p)
 	v, w := 1, -1
@@ -31,7 +42,6 @@ func ErdosRenyi(n int, p float64, rng *xrand.RNG) *graph.Graph {
 			b.AddEdge(v, w)
 		}
 	}
-	return b.Build()
 }
 
 // RandomConnected returns a connected Erdős–Rényi-style graph: it draws

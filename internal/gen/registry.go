@@ -92,6 +92,22 @@ func joinComma(xs []string) string {
 // families draw from rng; deterministic ones ignore it.
 type Factory func(p Params, rng *xrand.RNG) (*graph.Graph, error)
 
+// EmitScratch carries the recyclable working buffers an Emitter may need
+// beyond the builder itself (currently a permutation slice). One scratch
+// belongs to one batch worker; a nil scratch makes the emitter allocate
+// fresh buffers.
+type EmitScratch struct {
+	// Perm is the permutation scratch of cycle-union constructions.
+	Perm []int
+}
+
+// Emitter emits a family's edge set into a recycled builder (resetting the
+// builder to the right vertex count first), so batch workers can rebuild a
+// random family every repetition without allocating. An emitter must consume
+// rng exactly as the family's Build does — draw for draw — so the two paths
+// produce bit-identical graphs from equal generator states.
+type Emitter func(b *graph.Builder, p Params, rng *xrand.RNG, sc *EmitScratch) error
+
 // StartFunc designates the family's default start vertex for a built graph
 // (e.g. a leaf of the star rather than its center).
 type StartFunc func(p Params, g *graph.Graph) int
@@ -102,10 +118,23 @@ type StartFunc func(p Params, g *graph.Graph) int
 type Family struct {
 	// Build constructs the graph.
 	Build Factory
+	// Emit optionally emits the edge set into a recycled builder; nil means
+	// the family only supports Build. When set, Emit and Build must agree
+	// bit for bit (BuildInto uses Emit, Build may be implemented on top of
+	// it).
+	Emit Emitter
 	// Keys lists the accepted parameter names; Build rejects others.
 	Keys []string
 	// Start designates the default start vertex; nil means vertex 0.
 	Start StartFunc
+	// Deterministic declares that Build never draws from its rng: equal
+	// parameters always produce the identical graph. The batch engine relies
+	// on this to build the graph once and share it read-only across every
+	// repetition and worker — which cannot shift any repetition's RNG stream
+	// precisely because no draws are skipped. The registry test suite
+	// enforces the no-draw contract by building every deterministic family
+	// with a nil rng.
+	Deterministic bool
 }
 
 // families is the name → family registry behind serializable network specs.
@@ -134,6 +163,36 @@ func Build(name string, p Params, rng *xrand.RNG) (*graph.Graph, error) {
 		return nil, err
 	}
 	return fam.Build(p, rng)
+}
+
+// BuildInto constructs a graph of the named family through a recycled
+// builder and graph buffer when the family has an emitter, falling back to a
+// fresh Build otherwise. b must not be nil; dst and sc may be nil (a graph
+// resp. fresh emitter buffers are then allocated) and are only reused on the
+// emitter path — callers check the returned pointer, exactly as with
+// Builder.BuildInto. This is the batch engine's steady-state path for
+// rebuilding random static families once per repetition without allocating.
+func BuildInto(name string, p Params, rng *xrand.RNG, b *graph.Builder, dst *graph.Graph, sc *EmitScratch) (*graph.Graph, error) {
+	fam, ok := families[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown graph family %q", name)
+	}
+	if err := p.CheckKeys(name, fam.Keys); err != nil {
+		return nil, err
+	}
+	if fam.Emit == nil {
+		return fam.Build(p, rng)
+	}
+	if err := fam.Emit(b, p, rng, sc); err != nil {
+		return nil, err
+	}
+	return b.BuildInto(dst), nil
+}
+
+// IsDeterministic reports whether the named family declares the no-draw
+// contract (see Family.Deterministic); false for unknown families.
+func IsDeterministic(name string) bool {
+	return families[name].Deterministic
 }
 
 // DefaultStart returns the family's designated start vertex for a graph
@@ -191,7 +250,7 @@ func hypercubeDim(p Params) (int, error) {
 }
 
 func init() {
-	Register("clique", Family{Keys: []string{"n"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
+	Register("clique", Family{Deterministic: true, Keys: []string{"n"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 		n, err := p.NeedInt("clique", "n", 1)
 		if err != nil {
 			return nil, err
@@ -199,7 +258,8 @@ func init() {
 		return Clique(n), nil
 	}})
 	Register("star", Family{
-		Keys: []string{"n", "center"},
+		Deterministic: true,
+		Keys:          []string{"n", "center"},
 		Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 			n, err := p.NeedInt("star", "n", 1)
 			if err != nil {
@@ -223,28 +283,28 @@ func init() {
 			return 0
 		},
 	})
-	Register("path", Family{Keys: []string{"n"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
+	Register("path", Family{Deterministic: true, Keys: []string{"n"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 		n, err := p.NeedInt("path", "n", 1)
 		if err != nil {
 			return nil, err
 		}
 		return Path(n), nil
 	}})
-	Register("cycle", Family{Keys: []string{"n"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
+	Register("cycle", Family{Deterministic: true, Keys: []string{"n"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 		n, err := p.NeedInt("cycle", "n", 1)
 		if err != nil {
 			return nil, err
 		}
 		return Cycle(n), nil
 	}})
-	Register("hypercube", Family{Keys: []string{"n", "d"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
+	Register("hypercube", Family{Deterministic: true, Keys: []string{"n", "d"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 		d, err := hypercubeDim(p)
 		if err != nil {
 			return nil, err
 		}
 		return Hypercube(d), nil
 	}})
-	Register("torus", Family{Keys: []string{"rows", "cols"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
+	Register("torus", Family{Deterministic: true, Keys: []string{"rows", "cols"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 		rows, err := p.NeedInt("torus", "rows", 1)
 		if err != nil {
 			return nil, err
@@ -255,7 +315,7 @@ func init() {
 		}
 		return Torus(rows, cols), nil
 	}})
-	Register("grid", Family{Keys: []string{"rows", "cols"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
+	Register("grid", Family{Deterministic: true, Keys: []string{"rows", "cols"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 		rows, err := p.NeedInt("grid", "rows", 1)
 		if err != nil {
 			return nil, err
@@ -266,7 +326,7 @@ func init() {
 		}
 		return Grid(rows, cols), nil
 	}})
-	Register("complete-bipartite", Family{Keys: []string{"a", "b"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
+	Register("complete-bipartite", Family{Deterministic: true, Keys: []string{"a", "b"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 		a, err := p.NeedInt("complete-bipartite", "a", 1)
 		if err != nil {
 			return nil, err
@@ -277,27 +337,53 @@ func init() {
 		}
 		return CompleteBipartite(a, b), nil
 	}})
-	Register("barbell", Family{Keys: []string{"k"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
+	Register("barbell", Family{Deterministic: true, Keys: []string{"k"}, Build: func(p Params, _ *xrand.RNG) (*graph.Graph, error) {
 		k, err := p.NeedInt("barbell", "k", 1)
 		if err != nil {
 			return nil, err
 		}
 		return Barbell(k), nil
 	}})
-	Register("expander", Family{Keys: []string{"n", "degree"}, Build: func(p Params, rng *xrand.RNG) (*graph.Graph, error) {
-		n, err := p.NeedInt("expander", "n", 1)
-		if err != nil {
-			return nil, err
-		}
-		return Expander(n, p.Int("degree", 6), rng), nil
-	}})
-	Register("er", Family{Keys: []string{"n", "p"}, Build: func(p Params, rng *xrand.RNG) (*graph.Graph, error) {
-		n, err := p.NeedInt("er", "n", 1)
-		if err != nil {
-			return nil, err
-		}
-		return ErdosRenyi(n, p.Float("p", 0.05), rng), nil
-	}})
+	Register("expander", Family{
+		Keys: []string{"n", "degree"},
+		Build: func(p Params, rng *xrand.RNG) (*graph.Graph, error) {
+			n, err := p.NeedInt("expander", "n", 1)
+			if err != nil {
+				return nil, err
+			}
+			return Expander(n, p.Int("degree", 6), rng), nil
+		},
+		Emit: func(b *graph.Builder, p Params, rng *xrand.RNG, sc *EmitScratch) error {
+			n, err := p.NeedInt("expander", "n", 1)
+			if err != nil {
+				return err
+			}
+			var perm *[]int
+			if sc != nil {
+				perm = &sc.Perm
+			}
+			AppendExpander(b, n, p.Int("degree", 6), rng, perm)
+			return nil
+		},
+	})
+	Register("er", Family{
+		Keys: []string{"n", "p"},
+		Build: func(p Params, rng *xrand.RNG) (*graph.Graph, error) {
+			n, err := p.NeedInt("er", "n", 1)
+			if err != nil {
+				return nil, err
+			}
+			return ErdosRenyi(n, p.Float("p", 0.05), rng), nil
+		},
+		Emit: func(b *graph.Builder, p Params, rng *xrand.RNG, _ *EmitScratch) error {
+			n, err := p.NeedInt("er", "n", 1)
+			if err != nil {
+				return err
+			}
+			AppendErdosRenyi(b, n, p.Float("p", 0.05), rng)
+			return nil
+		},
+	})
 	Register("random-regular", Family{Keys: []string{"n", "d"}, Build: func(p Params, rng *xrand.RNG) (*graph.Graph, error) {
 		n, err := p.NeedInt("random-regular", "n", 1)
 		if err != nil {

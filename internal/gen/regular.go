@@ -172,21 +172,41 @@ func AppendCirculant(b *graph.Builder, vmap []int, n int, offsets []int) {
 //
 // If maxDegree < 4 it is raised to 4.
 func Expander(n, maxDegree int, rng *xrand.RNG) *graph.Graph {
+	b := graph.NewBuilder(n)
+	AppendExpander(b, n, maxDegree, rng, nil)
+	return b.Build()
+}
+
+// AppendExpander resets b to n vertices and emits one Expander(n, maxDegree)
+// sample into it, consuming exactly the stream Expander consumes (which is
+// implemented on top of it). perm is an optional permutation scratch slice;
+// when its capacity is at least n the emission is allocation-free in a warm
+// builder.
+func AppendExpander(b *graph.Builder, n, maxDegree int, rng *xrand.RNG, perm *[]int) {
+	b.Reset(n)
 	if maxDegree < 4 {
 		maxDegree = 4
 	}
 	if n <= maxDegree+1 {
-		return Clique(n)
+		AppendClique(b, n)
+		return
 	}
-	b := graph.NewBuilder(n)
-	cycles := maxDegree / 2
-	for c := 0; c < cycles; c++ {
-		perm := rng.Perm(n)
-		for i := 0; i < n; i++ {
-			b.AddEdge(perm[i], perm[(i+1)%n])
+	var scratch []int
+	if perm != nil && cap(*perm) >= n {
+		scratch = (*perm)[:n]
+	} else {
+		scratch = make([]int, n)
+		if perm != nil {
+			*perm = scratch
 		}
 	}
-	return b.Build()
+	cycles := maxDegree / 2
+	for c := 0; c < cycles; c++ {
+		rng.PermInto(scratch)
+		for i := 0; i < n; i++ {
+			b.AddEdge(scratch[i], scratch[(i+1)%n])
+		}
+	}
 }
 
 // NearRegular returns a connected graph on n vertices in which every vertex

@@ -286,6 +286,62 @@ func (g *Graph) rebuildCSR() {
 	g.volume = 2 * m
 }
 
+// StarInto builds the star K_{1,n-1} with the given center directly in
+// compressed form, recycling dst's backing arrays (nil dst allocates a fresh
+// graph). It produces exactly the graph the builder would for the same edge
+// set — canonical sorted edges, sorted neighbor lists — but in one O(n) fill
+// with no counting-sort passes, which makes it the rebuild primitive of the
+// dynamic-star adversary where the star is re-emitted every time step.
+// It panics if center is out of range.
+func StarInto(dst *Graph, n, center int) *Graph {
+	if center < 0 || center >= n {
+		panic(fmt.Sprintf("graph: star center %d out of range for n=%d", center, n))
+	}
+	if dst == nil {
+		dst = &Graph{}
+	}
+	m := n - 1
+	dst.n = n
+	if cap(dst.edges) >= m {
+		dst.edges = dst.edges[:m]
+	} else {
+		dst.edges = make([]Edge, m)
+	}
+	dst.degree = growInts(dst.degree, n)
+	dst.adjOff = growInts(dst.adjOff, n+1)
+	dst.adj = growInts(dst.adj, 2*m)
+	// Canonical sorted edge list: {v, center} for v < center, then {center, v}
+	// for v > center.
+	for v := 0; v < center; v++ {
+		dst.edges[v] = Edge{U: v, V: center}
+	}
+	for v := center + 1; v < n; v++ {
+		dst.edges[v-1] = Edge{U: center, V: v}
+	}
+	// CSR: every leaf's neighbor list is [center]; the center's list is every
+	// other vertex in increasing order.
+	off := 0
+	for v := 0; v < n; v++ {
+		dst.adjOff[v] = off
+		if v == center {
+			dst.degree[v] = m
+			for u := 0; u < n; u++ {
+				if u != center {
+					dst.adj[off] = u
+					off++
+				}
+			}
+		} else {
+			dst.degree[v] = 1
+			dst.adj[off] = center
+			off++
+		}
+	}
+	dst.adjOff[n] = off
+	dst.volume = 2 * m
+	return dst
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 

@@ -1,0 +1,75 @@
+package graph
+
+import "testing"
+
+// TestStarIntoMatchesBuilder pins StarInto to the builder path: identical
+// edge lists, adjacency, degrees and volume for every center.
+func TestStarIntoMatchesBuilder(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64} {
+		for center := 0; center < n; center++ {
+			want := func() *Graph {
+				b := NewBuilder(n)
+				for v := 0; v < n; v++ {
+					if v != center {
+						b.AddEdge(center, v)
+					}
+				}
+				return b.Build()
+			}()
+			got := StarInto(nil, n, center)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("n=%d center=%d: %v", n, center, err)
+			}
+			if got.N() != want.N() || got.M() != want.M() || got.Volume() != want.Volume() {
+				t.Fatalf("n=%d center=%d: size mismatch", n, center)
+			}
+			we, ge := want.Edges(), got.Edges()
+			for i := range we {
+				if we[i] != ge[i] {
+					t.Fatalf("n=%d center=%d: edge %d: got %v, want %v", n, center, i, ge[i], we[i])
+				}
+			}
+			for v := 0; v < n; v++ {
+				if got.Degree(v) != want.Degree(v) {
+					t.Fatalf("n=%d center=%d: degree of %d differs", n, center, v)
+				}
+				wn, gn := want.Neighbors(v), got.Neighbors(v)
+				for i := range wn {
+					if wn[i] != gn[i] {
+						t.Fatalf("n=%d center=%d: neighbors of %d differ", n, center, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStarIntoRecyclesBuffers checks the double-buffer contract of the
+// dynamic-star adversary: rebuilding into a retired graph reuses its arrays
+// and allocates nothing once warm.
+func TestStarIntoRecyclesBuffers(t *testing.T) {
+	g := StarInto(nil, 300, 0)
+	center := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		center = (center + 7) % 300
+		if got := StarInto(g, 300, center); got != g {
+			t.Fatal("StarInto moved the graph")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm star rebuild allocates %.1f times, want 0", allocs)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStarIntoPanicsOutOfRange mirrors the builder's range checking.
+func TestStarIntoPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range center")
+		}
+	}()
+	StarInto(nil, 5, 5)
+}

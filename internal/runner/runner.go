@@ -2,26 +2,33 @@
 // of worker goroutines.
 //
 // Every repetition receives its own deterministic RNG stream, derived from a
-// single base generator by splitting serially in repetition order before any
-// worker starts (see Map). Because a repetition never touches the base
-// generator — only its private stream — the results are bit-identical for any
-// worker count and any scheduling order, and identical to what the historical
-// serial loops produced. This is the determinism contract documented in
-// DESIGN.md: parallelism is a pure throughput knob, never an output knob.
+// single base generator by splitting serially in repetition order (see
+// Streams). Because a repetition never touches the base generator — only its
+// private stream — the results are bit-identical for any worker count and any
+// scheduling order, and identical to what the historical serial loops
+// produced. This is the determinism contract documented in DESIGN.md:
+// parallelism is a pure throughput knob, never an output knob.
+//
+// Streams are derived lazily, in claim order, under a lock: stream i is
+// seeded from the i-th Uint64 draw of the base generator, exactly the value
+// Streams would have pre-derived, but without materializing O(reps) RNGs.
+// Workers receive their stream in a per-worker reusable RNG value, so the
+// fan-out itself allocates nothing per repetition.
 package runner
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"dynamicrumor/internal/xrand"
 )
 
 // Job is one Monte-Carlo repetition. It receives the repetition index and a
 // private RNG stream derived from the experiment seed; it must not share
-// mutable state with other repetitions.
+// mutable state with other repetitions, and must not retain the rng after
+// returning (the runner recycles the RNG value for the worker's next
+// repetition).
 type Job[T any] func(rep int, rng *xrand.RNG) (T, error)
 
 // Parallelism normalizes a worker-count knob: values <= 0 select
@@ -61,6 +68,51 @@ func Streams(base *xrand.RNG, reps int) []*xrand.RNG {
 	return streams
 }
 
+// streamSource hands out (repetition, stream) pairs one at a time. Claims are
+// serialized under the mutex in increasing repetition order, so the i-th
+// Uint64 drawn from the base generator always seeds stream i — the exact
+// derivation Streams performs eagerly. It stops handing out repetitions once
+// aborted.
+type streamSource struct {
+	mu      sync.Mutex
+	base    *xrand.RNG
+	next    int
+	reps    int
+	aborted bool
+}
+
+// claim derives the next repetition's stream into dst and returns its index,
+// or ok=false when the repetitions are exhausted or the run was aborted.
+func (s *streamSource) claim(dst *xrand.RNG) (rep int, ok bool) {
+	s.mu.Lock()
+	if s.aborted || s.next >= s.reps {
+		s.mu.Unlock()
+		return 0, false
+	}
+	rep = s.next
+	s.next++
+	s.base.SplitInto(uint64(rep)+1, dst)
+	s.mu.Unlock()
+	return rep, true
+}
+
+// abort stops further claims; in-flight repetitions still complete.
+func (s *streamSource) abort() {
+	s.mu.Lock()
+	s.aborted = true
+	s.mu.Unlock()
+}
+
+// drain advances the base generator past every unclaimed repetition, so the
+// base ends in the same state regardless of how the run terminated.
+func (s *streamSource) drain() {
+	s.mu.Lock()
+	for ; s.next < s.reps; s.next++ {
+		s.base.Uint64()
+	}
+	s.mu.Unlock()
+}
+
 // LocalJob is one Monte-Carlo repetition that additionally receives a
 // worker-local state L (a scratch buffer pool, a reusable simulator state,
 // ...). The state is shared by every repetition the same worker executes but
@@ -72,8 +124,8 @@ type LocalJob[T, L any] func(rep int, rng *xrand.RNG, local L) (T, error)
 // workers (<= 0 selects GOMAXPROCS) and returns the results in repetition
 // order.
 //
-// RNG streams are pre-derived from base via Streams before any worker starts,
-// so the output is bit-identical regardless of parallelism. If one or more
+// RNG streams are derived from base exactly as Streams derives them, so the
+// output is bit-identical regardless of parallelism. If one or more
 // repetitions fail, Map completes the remaining repetitions and returns the
 // error of the lowest-indexed failure wrapped in a *RepError — again
 // independent of scheduling order.
@@ -92,8 +144,8 @@ func MapLocal[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() 
 	if reps <= 0 {
 		return nil, nil
 	}
-	streams := Streams(base, reps)
 	out := make([]T, reps)
+	src := &streamSource{base: base, reps: reps}
 
 	workers := Parallelism(parallelism)
 	if workers > reps {
@@ -101,9 +153,15 @@ func MapLocal[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() 
 	}
 	if workers == 1 {
 		local := newLocal()
-		for i := 0; i < reps; i++ {
-			v, err := fn(i, streams[i], local)
+		var rng xrand.RNG
+		for {
+			i, ok := src.claim(&rng)
+			if !ok {
+				break
+			}
+			v, err := fn(i, &rng, local)
 			if err != nil {
+				src.drain()
 				return nil, &RepError{Rep: i, Err: err}
 			}
 			out[i] = v
@@ -112,19 +170,19 @@ func MapLocal[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() 
 	}
 
 	errs := make([]error, reps)
-	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			local := newLocal()
+			var rng xrand.RNG
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= reps {
+				i, ok := src.claim(&rng)
+				if !ok {
 					return
 				}
-				v, err := fn(i, streams[i], local)
+				v, err := fn(i, &rng, local)
 				if err != nil {
 					errs[i] = err
 					continue
@@ -140,4 +198,109 @@ func MapLocal[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() 
 		}
 	}
 	return out, nil
+}
+
+// Reducer consumes one repetition's value. MapReduce calls it in strict
+// repetition order (rep 0, 1, 2, ...), exactly once per repetition, and never
+// concurrently, so a reducer needs no locking and may fold values into plain
+// accumulators. The value (and anything it points to) is only guaranteed
+// valid for the duration of the call: workers recycle their result storage
+// for the next repetition as soon as the reducer returns.
+type Reducer[T any] func(rep int, v T) error
+
+// MapReduce runs fn for every repetition like MapLocal but streams the
+// results into reduce instead of materializing them: memory stays O(workers)
+// regardless of reps. The per-repetition RNG streams are identical to
+// MapLocal's, so a job produces bit-identical values under either entry
+// point.
+//
+// Ordering: workers simulate concurrently, but each takes a turn — in
+// repetition order — to hand its value to reduce. A worker computes its next
+// repetition only after its previous value has been reduced, which is what
+// makes recycled result storage safe and bounds in-flight values by the
+// worker count.
+//
+// Errors: the first failure in repetition order (from the job or the
+// reducer) aborts the run — no later repetition is reduced, workers stop
+// claiming new repetitions, and the failure is returned wrapped in a
+// *RepError (reducer errors are returned unwrapped). Which error is returned
+// is deterministic: every earlier repetition succeeded and was reduced.
+func MapReduce[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
+	if reps <= 0 {
+		return nil
+	}
+	src := &streamSource{base: base, reps: reps}
+
+	workers := Parallelism(parallelism)
+	if workers > reps {
+		workers = reps
+	}
+	if workers == 1 {
+		local := newLocal()
+		var rng xrand.RNG
+		for {
+			i, ok := src.claim(&rng)
+			if !ok {
+				return nil
+			}
+			v, err := fn(i, &rng, local)
+			if err != nil {
+				src.drain()
+				return &RepError{Rep: i, Err: err}
+			}
+			if err := reduce(i, v); err != nil {
+				src.drain()
+				return err
+			}
+		}
+	}
+
+	// turn serializes the reducer: a worker holding repetition i waits until
+	// every repetition < i has been reduced, reduces, then advances the turn.
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		turn     int
+		firstErr error
+	)
+	takeTurn := func(rep int, v T, jobErr error) {
+		mu.Lock()
+		for turn != rep {
+			cond.Wait()
+		}
+		if firstErr == nil {
+			if jobErr != nil {
+				firstErr = &RepError{Rep: rep, Err: jobErr}
+			} else if err := reduce(rep, v); err != nil {
+				firstErr = err
+			}
+			if firstErr != nil {
+				src.abort()
+			}
+		}
+		turn++
+		cond.Broadcast()
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			local := newLocal()
+			var rng xrand.RNG
+			for {
+				i, ok := src.claim(&rng)
+				if !ok {
+					return
+				}
+				v, err := fn(i, &rng, local)
+				takeTurn(i, v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	src.drain()
+	return firstErr
 }

@@ -109,7 +109,7 @@ func RunAsyncInto(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG, sc *Sc
 				advance = true
 			} else {
 				now += wait
-				v := st.sampleNewlyInformed(rng)
+				v := st.sampleNewlyInformed(rng, total)
 				if v < 0 {
 					// Numerically empty cut; treat like a zero-rate interval.
 					advance = true
@@ -177,20 +177,38 @@ func (st *asyncState) prepare(n int, mode Mode, rate float64) {
 }
 
 // loadGraph recomputes all counts and weights for a freshly exposed graph.
+// The fused pass is bit-identical to the straightforward
+// Reset-then-Set-per-vertex rebuild: weights are accumulated into the
+// Fenwick tree in the same ascending vertex order (see fenwick.Add), the
+// weight formula is vertexWeight inlined, and zero weights touch nothing —
+// the pass only avoids the per-neighbor closure and the Set delta
+// bookkeeping, which dominate graph reloads on rebuilding dynamic networks.
 func (st *asyncState) loadGraph(g *graph.Graph) {
 	st.g = g
 	st.weights.Reset()
 	informed := st.informed
+	mode, rate := st.mode, st.rate
 	for v := 0; v < st.n; v++ {
 		cnt := 0
 		inf := informed[v]
-		g.ForEachNeighbor(v, func(u int) {
+		nb := g.Neighbors(v)
+		for _, u := range nb {
 			if informed[u] != inf {
 				cnt++
 			}
-		})
+		}
 		st.counts[v] = cnt
-		st.weights.Set(v, st.vertexWeight(v))
+		if cnt == 0 {
+			continue
+		}
+		if inf {
+			if mode == PullOnly {
+				continue
+			}
+		} else if mode == PushOnly {
+			continue
+		}
+		st.weights.Add(v, rate*float64(cnt)/float64(len(nb)))
 	}
 }
 
@@ -213,9 +231,10 @@ func (st *asyncState) vertexWeight(v int) float64 {
 }
 
 // sampleNewlyInformed draws the vertex that becomes informed by the next
-// informative contact. It returns -1 if no contact is possible.
-func (st *asyncState) sampleNewlyInformed(rng *xrand.RNG) int {
-	total := st.weights.Total()
+// informative contact. total must be the current weights.Total(), which the
+// simulate loop has already computed for the waiting-time draw. It returns
+// -1 if no contact is possible.
+func (st *asyncState) sampleNewlyInformed(rng *xrand.RNG, total float64) int {
 	if total <= 0 {
 		return -1
 	}
@@ -248,23 +267,41 @@ func (st *asyncState) inform(v int) {
 	}
 	st.informed[v] = true
 	// v's own count switches meaning: it now counts uninformed neighbors.
+	nb := st.g.Neighbors(v)
 	cnt := 0
-	for _, u := range st.g.Neighbors(v) {
+	for _, u := range nb {
 		if !st.informed[u] {
 			cnt++
 		}
 	}
 	st.counts[v] = cnt
 	st.weights.Set(v, st.vertexWeight(v))
-	// Every neighbor's count changes by one.
-	for _, u := range st.g.Neighbors(v) {
-		if st.informed[u] {
+	// Every neighbor's count changes by one. The weight formula is
+	// vertexWeight inlined, minus the degree-zero branch (a neighbor has
+	// degree >= 1 by construction); the informing of a hub vertex updates
+	// every leaf here, so this loop is the hottest edge of the simulator.
+	mode, rate := st.mode, st.rate
+	for _, u := range nb {
+		cu := st.counts[u]
+		inf := st.informed[u]
+		if inf {
 			// u lost an uninformed neighbor.
-			st.counts[u]--
+			cu--
 		} else {
 			// u gained an informed neighbor.
-			st.counts[u]++
+			cu++
 		}
-		st.weights.Set(u, st.vertexWeight(u))
+		st.counts[u] = cu
+		var w float64
+		if cu != 0 {
+			if inf {
+				if mode != PullOnly {
+					w = rate * float64(cu) / float64(st.g.Degree(u))
+				}
+			} else if mode != PushOnly {
+				w = rate * float64(cu) / float64(st.g.Degree(u))
+			}
+		}
+		st.weights.Set(u, w)
 	}
 }

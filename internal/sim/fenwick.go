@@ -31,6 +31,19 @@ func (f *fenwick) Set(i int, w float64) {
 	}
 }
 
+// Add assigns weight w > 0 to index i, which must currently have weight 0
+// (the state right after Reset or Resize). It is Set without the delta
+// bookkeeping: the tree nodes receive exactly the same additions in exactly
+// the same order, so a Reset-then-Add rebuild is bit-identical to a
+// Reset-then-Set rebuild — this is the bulk-load fast path of the
+// asynchronous simulator's graph reloads.
+func (f *fenwick) Add(i int, w float64) {
+	f.weight[i] = w
+	for j := i + 1; j < len(f.tree); j += j & (-j) {
+		f.tree[j] += w
+	}
+}
+
 // Get returns the weight of index i.
 func (f *fenwick) Get(i int) float64 { return f.weight[i] }
 

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
+)
+
+// referenceFlooding is the pre-frontier scan-every-vertex implementation,
+// kept verbatim as the oracle for the frontier rewrite.
+func referenceFlooding(net dynamic.Network, opts SyncOptions) *Result {
+	n := net.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 16 * n * n
+	}
+	informed := make([]bool, n)
+	next := make([]bool, n)
+	informed[opts.Start] = true
+	res := &Result{N: n, Informed: 1}
+	if opts.RecordTrace {
+		res.Trace = append(res.Trace, TracePoint{Time: 0, Informed: 1})
+	}
+	if n == 1 {
+		res.Completed = true
+		return res
+	}
+	for round := 0; round < maxRounds; round++ {
+		g := net.GraphAt(round, informed)
+		res.Steps++
+		copy(next, informed)
+		newCount := 0
+		for v := 0; v < n; v++ {
+			if !informed[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if !next[u] {
+					next[u] = true
+					newCount++
+				}
+			}
+		}
+		copy(informed, next)
+		res.Informed += newCount
+		res.Events += newCount
+		res.SpreadTime = float64(round + 1)
+		if opts.RecordTrace && newCount > 0 {
+			res.Trace = append(res.Trace, TracePoint{Time: res.SpreadTime, Informed: res.Informed})
+		}
+		if res.Informed == n {
+			res.Completed = true
+			return res
+		}
+	}
+	return res
+}
+
+// floodingNets builds a bestiary of static and dynamic networks covering the
+// frontier fast path (stable graph pointer), the rebuild-every-step full
+// rescan, and mixes of the two.
+func floodingNets(t *testing.T) map[string]func() dynamic.Network {
+	t.Helper()
+	return map[string]func() dynamic.Network{
+		"static-ring": func() dynamic.Network {
+			return dynamic.NewStatic(ringGraph(257))
+		},
+		"static-star": func() dynamic.Network {
+			return dynamic.NewStatic(graph.StarInto(nil, 64, 5))
+		},
+		"alternating": func() dynamic.Network {
+			// Pointer changes every round: exercises the permanent full-rescan
+			// branch, including rounds where the new graph reconnects stale
+			// informed vertices to fresh ones.
+			return dynamic.NewAlternating([]*graph.Graph{
+				ringGraph(120),
+				graph.StarInto(nil, 120, 7),
+			})
+		},
+		"adaptive-star": func() dynamic.Network {
+			// The dynamic star: long same-pointer stretches punctuated by
+			// center moves, driven by the informed set.
+			net, err := dynamic.NewDichotomyG2(80, xrand.New(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return net
+		},
+		"disconnected": func() dynamic.Network {
+			// Two components: flooding stalls with a permanently empty
+			// frontier and must hit the round cap with identical counts.
+			b := graph.NewBuilder(10)
+			for v := 0; v < 4; v++ {
+				b.AddEdge(v, (v+1)%5)
+			}
+			for v := 5; v < 9; v++ {
+				b.AddEdge(v, v+1)
+			}
+			return dynamic.NewStatic(b.Build())
+		},
+	}
+}
+
+// TestFloodingFrontierMatchesReference is the old-vs-new equivalence gate for
+// the frontier rewrite: every field of the result, including the trace, must
+// be identical on every network shape. Flooding consumes no randomness, so
+// this is an exact, deterministic comparison.
+func TestFloodingFrontierMatchesReference(t *testing.T) {
+	sc := NewScratch()
+	var reused Result
+	for name, build := range floodingNets(t) {
+		opts := SyncOptions{Start: 1, RecordTrace: true}
+		if name == "disconnected" {
+			opts.MaxRounds = 40
+		}
+		want := referenceFlooding(build(), opts)
+		got, err := RunFloodingInto(build(), opts, xrand.New(1), sc, &reused)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.SpreadTime != want.SpreadTime || got.Informed != want.Informed ||
+			got.Steps != want.Steps || got.Events != want.Events ||
+			got.Completed != want.Completed || got.N != want.N {
+			t.Fatalf("%s: frontier flooding diverged: got %+v, want %+v", name, got, want)
+		}
+		if len(got.Trace) != len(want.Trace) {
+			t.Fatalf("%s: trace length %d, want %d", name, len(got.Trace), len(want.Trace))
+		}
+		for i := range want.Trace {
+			if got.Trace[i] != want.Trace[i] {
+				t.Fatalf("%s: trace point %d differs: got %+v, want %+v", name, i, got.Trace[i], want.Trace[i])
+			}
+		}
+	}
+}

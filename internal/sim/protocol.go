@@ -24,13 +24,16 @@ type Protocol interface {
 
 // ReusableProtocol is the optional extension a Protocol implements when its
 // simulator can recycle per-worker state: RunInto must behave exactly like
-// Run (same stream, same result) while drawing its working arrays from sc.
-// The engine's Monte-Carlo workers detect it and carry one Scratch across all
-// repetitions, which removes every per-repetition state allocation.
+// Run (same stream, same result) while drawing its working arrays from sc
+// and filling res instead of allocating a result when res is non-nil. The
+// engine's Monte-Carlo workers detect it and carry one Scratch (and, on the
+// streaming-reduction path, one Result) across all repetitions, which
+// removes every per-repetition state allocation.
 type ReusableProtocol interface {
 	Protocol
-	// RunInto executes the process once, reusing sc (which must not be nil).
-	RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch) (*Result, error)
+	// RunInto executes the process once, reusing sc (which must not be nil)
+	// and res (which may be nil for a freshly allocated result).
+	RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error)
 }
 
 // AsyncProtocol runs the asynchronous push-pull process of Definition 1.
@@ -46,8 +49,8 @@ func (p AsyncProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, error)
 }
 
 // RunInto implements ReusableProtocol.
-func (p AsyncProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch) (*Result, error) {
-	return RunAsyncInto(net, p.Opts, rng, sc, nil)
+func (p AsyncProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error) {
+	return RunAsyncInto(net, p.Opts, rng, sc, res)
 }
 
 // Kind implements Protocol.
@@ -66,8 +69,8 @@ func (p SyncProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, error) 
 }
 
 // RunInto implements ReusableProtocol.
-func (p SyncProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch) (*Result, error) {
-	return RunSyncInto(net, p.Opts, rng, sc, nil)
+func (p SyncProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error) {
+	return RunSyncInto(net, p.Opts, rng, sc, res)
 }
 
 // Kind implements Protocol.
@@ -86,8 +89,8 @@ func (p FloodingProtocol) Run(net dynamic.Network, rng *xrand.RNG) (*Result, err
 }
 
 // RunInto implements ReusableProtocol.
-func (p FloodingProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch) (*Result, error) {
-	return RunFloodingInto(net, p.Opts, rng, sc, nil)
+func (p FloodingProtocol) RunInto(net dynamic.Network, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error) {
+	return RunFloodingInto(net, p.Opts, rng, sc, res)
 }
 
 // Kind implements Protocol.

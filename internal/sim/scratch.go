@@ -16,6 +16,14 @@ type Scratch struct {
 	async    asyncState
 	informed []bool // synchronous informed set
 	next     []bool // synchronous next-round buffer
+	frontier []int  // flooding: vertices informed in the previous round
+	spread   []int  // flooding: vertices informed in the current round
+}
+
+// frontierBuffers returns the emptied (frontier, spread) vertex lists for the
+// flooding simulator, reusing their capacity.
+func (sc *Scratch) frontierBuffers() (frontier, spread []int) {
+	return sc.frontier[:0], sc.spread[:0]
 }
 
 // NewScratch returns an empty scratch; arrays are sized on first use.
@@ -24,9 +32,22 @@ func NewScratch() *Scratch { return &Scratch{} }
 // syncBuffers returns the zeroed (informed, next) round buffers for a run on
 // n vertices.
 func (sc *Scratch) syncBuffers(n int) (informed, next []bool) {
+	return sc.informedBuffer(n), sc.nextBuffer(n)
+}
+
+// informedBuffer returns the zeroed informed set for a run on n vertices.
+// Flooding uses only this one — its frontier rewrite has no next-round
+// buffer, so preparing one would be an O(n) clear per repetition for
+// nothing.
+func (sc *Scratch) informedBuffer(n int) []bool {
 	sc.informed = growBools(sc.informed, n)
+	return sc.informed
+}
+
+// nextBuffer returns the zeroed next-round buffer for a run on n vertices.
+func (sc *Scratch) nextBuffer(n int) []bool {
 	sc.next = growBools(sc.next, n)
-	return sc.informed, sc.next
+	return sc.next
 }
 
 // growBools returns s resized to length n with every entry false, reusing

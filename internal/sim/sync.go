@@ -2,6 +2,7 @@ package sim
 
 import (
 	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/graph"
 	"dynamicrumor/internal/xrand"
 )
 
@@ -109,6 +110,18 @@ func RunFlooding(net dynamic.Network, opts SyncOptions, rng *xrand.RNG) (*Result
 
 // RunFloodingInto is RunFlooding with recycled round buffers and result
 // (either may be nil for a fresh one).
+//
+// The scan is frontier-based: in a round whose graph is unchanged from the
+// previous round (pointer equality, which the rebuilding dynamic networks
+// guarantee is reliable), only the vertices informed in the previous round
+// probe their neighbors — an older informed vertex already informed its
+// whole neighborhood the round it was on the frontier, so scanning it again
+// cannot add anything. When the network exposes a different graph the
+// frontier is rebuilt as the full informed set, because any informed vertex
+// may have gained uninformed neighbors. Flooding is deterministic and
+// consumes no randomness, so the informed set, counts and trace are provably
+// identical to the historical scan-everyone loop; only the work changes —
+// O(volume of the frontier) instead of O(n + m) per round on static graphs.
 func RunFloodingInto(net dynamic.Network, opts SyncOptions, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error) {
 	n := net.N()
 	if opts.Start < 0 || opts.Start >= n {
@@ -126,7 +139,7 @@ func RunFloodingInto(net dynamic.Network, opts SyncOptions, rng *xrand.RNG, sc *
 		res = &Result{}
 	}
 
-	informed, next := sc.syncBuffers(n)
+	informed := sc.informedBuffer(n)
 	informed[opts.Start] = true
 	res.reset(n)
 	if opts.RecordTrace {
@@ -137,23 +150,34 @@ func RunFloodingInto(net dynamic.Network, opts SyncOptions, rng *xrand.RNG, sc *
 		return res, nil
 	}
 
+	frontier, spread := sc.frontierBuffers()
+	frontier = append(frontier, opts.Start)
+	var prev *graph.Graph
 	for round := 0; round < maxRounds; round++ {
 		g := net.GraphAt(round, informed)
 		res.Steps++
-		copy(next, informed)
-		newCount := 0
-		for v := 0; v < n; v++ {
-			if !informed[v] {
-				continue
-			}
-			g.ForEachNeighbor(v, func(u int) {
-				if !next[u] {
-					next[u] = true
-					newCount++
+		if g != prev && round > 0 {
+			// New graph: every informed vertex may have new uninformed
+			// neighbors, so this round floods from the full informed set.
+			frontier = frontier[:0]
+			for v := 0; v < n; v++ {
+				if informed[v] {
+					frontier = append(frontier, v)
 				}
-			})
+			}
 		}
-		copy(informed, next)
+		prev = g
+		spread = spread[:0]
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if !informed[u] {
+					informed[u] = true
+					spread = append(spread, u)
+				}
+			}
+		}
+		newCount := len(spread)
+		frontier, spread = spread, frontier
 		res.Informed += newCount
 		res.Events += newCount
 		res.SpreadTime = float64(round + 1)
@@ -162,8 +186,9 @@ func RunFloodingInto(net dynamic.Network, opts SyncOptions, rng *xrand.RNG, sc *
 		}
 		if res.Informed == n {
 			res.Completed = true
-			return res, nil
+			break
 		}
 	}
+	sc.frontier, sc.spread = frontier, spread
 	return res, nil
 }

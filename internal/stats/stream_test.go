@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dynamicrumor/internal/xrand"
+)
+
+func TestWelfordMatchesBatchMoments(t *testing.T) {
+	rng := xrand.New(8)
+	xs := make([]float64, 5000)
+	var w Welford
+	for i := range xs {
+		xs[i] = 100 + 10*rng.Float64()*rng.Float64()
+		w.Add(xs[i])
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", w.N(), len(xs))
+	}
+	if m := Mean(xs); math.Abs(w.Mean()-m) > 1e-9*math.Abs(m) {
+		t.Fatalf("mean %v, want %v", w.Mean(), m)
+	}
+	if v := Variance(xs); math.Abs(w.Variance()-v) > 1e-9*v {
+		t.Fatalf("variance %v, want %v", w.Variance(), v)
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		min, max = math.Min(min, x), math.Max(max, x)
+	}
+	if w.Min() != min || w.Max() != max {
+		t.Fatal("extremes disagree with the batch")
+	}
+}
+
+func TestWelfordSmallSamples(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 || w.Min() != 3 || w.Max() != 3 {
+		t.Fatal("single observation mishandled")
+	}
+	w.Add(5)
+	if w.Mean() != 4 || math.Abs(w.Variance()-2) > 1e-12 {
+		t.Fatalf("two observations: mean %v var %v, want 4 and 2", w.Mean(), w.Variance())
+	}
+}
+
+func TestP2QuantileConvergesOnUniform(t *testing.T) {
+	rng := xrand.New(21)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		est := NewP2Quantile(q)
+		for i := 0; i < 200000; i++ {
+			est.Add(rng.Float64())
+		}
+		if got := est.Value(); math.Abs(got-q) > 0.01 {
+			t.Fatalf("q=%v: estimate %v off by more than 0.01 on 2e5 uniform samples", q, got)
+		}
+	}
+}
+
+func TestP2QuantileMatchesExactOnSkewedSample(t *testing.T) {
+	// Exponential-ish skew: the parabolic update must not be fooled by a
+	// heavy tail.
+	rng := xrand.New(4)
+	xs := make([]float64, 100000)
+	est := NewP2Quantile(0.9)
+	for i := range xs {
+		xs[i] = rng.Exp(0.5)
+		est.Add(xs[i])
+	}
+	exact := Quantile(xs, 0.9)
+	if math.Abs(est.Value()-exact) > 0.05*exact {
+		t.Fatalf("q90 estimate %v vs exact %v: relative error above 5%%", est.Value(), exact)
+	}
+}
+
+func TestP2QuantileSmallSamplesExact(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if est.Value() != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+	for _, x := range []float64{9, 1, 5} {
+		est.Add(x)
+	}
+	if got, want := est.Value(), Quantile([]float64{9, 1, 5}, 0.5); got != want {
+		t.Fatalf("small-sample median %v, want exact %v", got, want)
+	}
+}
+
+func TestP2QuantilePanicsOutOfRange(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("q=%v: expected panic", q)
+				}
+			}()
+			NewP2Quantile(q)
+		}()
+	}
+}
+
+func TestStreamCombinesAccumulators(t *testing.T) {
+	s := NewStream(0.5, 0.9)
+	rng := xrand.New(2)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		s.Add(xs[i])
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", s.N(), len(xs))
+	}
+	if qs := s.Quantiles(); len(qs) != 2 || qs[0] != 0.5 || qs[1] != 0.9 {
+		t.Fatalf("tracked quantiles %v, want [0.5 0.9]", qs)
+	}
+	if math.Abs(s.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatal("stream mean diverged from batch mean")
+	}
+	for i, q := range []float64{0.5, 0.9} {
+		exact := Quantile(xs, q)
+		if math.Abs(s.QuantileEstimate(i)-exact) > 0.05*exact {
+			t.Fatalf("q=%v estimate %v vs exact %v", q, s.QuantileEstimate(i), exact)
+		}
+	}
+}

@@ -21,6 +21,14 @@ type RNG struct {
 // as recommended by the xoshiro authors.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initializes the generator in place exactly as New(seed) would,
+// without allocating. It is the recycling form used by the Monte-Carlo
+// machinery to derive per-repetition streams into reusable RNG values.
+func (r *RNG) Seed(seed uint64) {
 	sm := seed
 	for i := 0; i < 4; i++ {
 		sm, r.s[i] = splitMix64(sm)
@@ -29,7 +37,6 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // splitMix64 advances the SplitMix64 state and returns (nextState, output).
@@ -45,8 +52,16 @@ func splitMix64(state uint64) (uint64, uint64) {
 // Split returns a new generator deterministically derived from r and the
 // stream label. Distinct labels yield statistically independent streams, so
 // repetitions of an experiment can run in parallel with reproducible results.
+// Split advances r by exactly one Uint64 draw.
 func (r *RNG) Split(label uint64) *RNG {
 	return New(r.Uint64() ^ (label*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909))
+}
+
+// SplitInto derives the same generator Split(label) would return into dst,
+// without allocating. Like Split it advances r by exactly one Uint64 draw, so
+// Split and SplitInto are interchangeable draw for draw.
+func (r *RNG) SplitInto(label uint64, dst *RNG) {
+	dst.Seed(r.Uint64() ^ (label*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -33,6 +33,11 @@ type (
 	Engine = engine.Engine
 	// Ensemble aggregates the results of a batch run.
 	Ensemble = engine.Ensemble
+	// Reducer consumes one repetition's result during Engine.RunReduce; it is
+	// called in strict repetition order and must not retain the result.
+	Reducer = engine.Reducer
+	// BatchStats is the O(1)-memory aggregate returned by Engine.RunStats.
+	BatchStats = engine.BatchStats
 	// Protocol is the execution contract unifying the three simulators.
 	Protocol = sim.Protocol
 )
