@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke check clean
+.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke smoke-service serve check clean
 
 # The anchor benchmarks tracked across PRs (see BENCH_*.json and
 # EXPERIMENTS.md): the Monte-Carlo engine fan-out (batch + streaming), the
@@ -55,6 +55,18 @@ bench-json:
 # benchmarks cannot rot even when nobody is looking at their numbers.
 bench-smoke:
 	$(GO) test -run NONE -bench '$(BENCH_ANCHORS)' -benchtime 1x -benchmem .
+
+# serve starts the rumord simulation service on :8080 (see README "Running
+# the service" for the API).
+serve:
+	$(GO) run ./cmd/rumord
+
+# smoke-service is the CI end-to-end guard for rumord: start the daemon,
+# submit a scenario sweep through examples/client, poll to completion, diff
+# the summaries against scripts/testdata/service_smoke_summary.json, and
+# require a resubmission to be a byte-identical cache hit.
+smoke-service:
+	sh scripts/service_smoke.sh
 
 check: build vet fmt-check test
 

@@ -1,0 +1,94 @@
+// Command rumord is the rumor-spreading simulation service: a long-lived
+// daemon that accepts declarative Scenarios over HTTP, schedules them onto
+// the deterministic Monte-Carlo engine under a shared worker budget, and
+// caches ensemble results by content hash — an equivalent resubmission
+// (same canonical scenario, seed and reps, any JSON spelling) is answered
+// instantly with byte-identical results.
+//
+// Endpoints:
+//
+//	POST   /v1/runs                submit {"scenario": {...}, "reps": N, "seed": S}
+//	GET    /v1/runs                list jobs
+//	GET    /v1/runs/{id}           job status + summary when done
+//	DELETE /v1/runs/{id}           cancel a queued or running job
+//	GET    /v1/scenarios/families  the network family registry
+//	GET    /healthz                liveness
+//	GET    /metrics                job, cache, budget and throughput counters
+//
+// Example:
+//
+//	rumord -addr :8080 -budget 8 &
+//	curl -s localhost:8080/v1/runs -d \
+//	  '{"scenario":{"network":{"family":"clique","params":{"n":512}}},"reps":64,"seed":1}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynamicrumor/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rumord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	budget := fs.Int("budget", 0,
+		"total engine worker goroutines shared across all running jobs (0 means GOMAXPROCS)")
+	queueLimit := fs.Int("queue", 256, "maximum queued jobs before submissions get 429")
+	cacheLimit := fs.Int("cache", 1024, "maximum cached run summaries")
+	maxReps := fs.Int("max-reps", 10_000_000, "maximum repetitions a single job may request")
+	historyLimit := fs.Int("history", 4096, "finished job records retained (oldest forgotten first)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		Budget:       *budget,
+		QueueLimit:   *queueLimit,
+		CacheLimit:   *cacheLimit,
+		MaxReps:      *maxReps,
+		HistoryLimit: *historyLimit,
+	})
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rumord: listening on %s", *addr)
+		errc <- server.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case sig := <-stop:
+		log.Printf("rumord: %s, shutting down", sig)
+	}
+
+	// Stop accepting connections first, then cancel in-flight jobs; each job
+	// settles at its next repetition boundary.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rumord: shutdown: %v", err)
+	}
+	svc.Close()
+	return nil
+}

@@ -1,0 +1,198 @@
+// Command client is a minimal Go client for the rumord service: it submits
+// a sweep of scenarios (one per network size), polls each job to completion,
+// and prints the ensemble table — exercising the public HTTP API end to end.
+//
+// Start the daemon, then run the sweep:
+//
+//	go run ./cmd/rumord -addr :8080 &
+//	go run ./examples/client -addr http://localhost:8080 -family clique -sizes 256,512,1024 -reps 32
+//
+// With -raw it prints each run's summary document verbatim (one JSON line
+// per scenario) instead of the table; the CI smoke test diffs that output
+// against a committed golden file, and a rerun must be served from the
+// result cache byte-identically.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "rumord base URL")
+	family := fs.String("family", "clique", "network family to sweep")
+	sizes := fs.String("sizes", "256,512,1024", "comma-separated vertex counts")
+	rho := fs.Float64("rho", 0.25, "diligence parameter (gnrho/absgnrho families)")
+	reps := fs.Int("reps", 32, "repetitions per scenario")
+	seed := fs.Uint64("seed", 1, "ensemble seed")
+	raw := fs.Bool("raw", false, "print each run's summary JSON instead of the table")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-job completion deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c := client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: 30 * time.Second}}
+
+	var ns []int
+	for _, part := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -sizes entry %q: %w", part, err)
+		}
+		ns = append(ns, n)
+	}
+
+	if !*raw {
+		fmt.Printf("%-8s %-10s %-6s %10s %10s %10s %10s %6s\n",
+			"n", "job", "cache", "mean", "median", "q90", "max", "done%")
+	}
+	for _, n := range ns {
+		params := map[string]float64{"n": float64(n)}
+		if *family == "gnrho" || *family == "absgnrho" {
+			params["rho"] = *rho
+		}
+		sub := map[string]any{
+			"scenario": map[string]any{
+				"network": map[string]any{"family": *family, "params": params},
+			},
+			"reps": *reps,
+			"seed": *seed,
+		}
+		job, err := c.submit(sub)
+		if err != nil {
+			return fmt.Errorf("submit n=%d: %w", n, err)
+		}
+		job, err = c.wait(job, *timeout)
+		if err != nil {
+			return fmt.Errorf("wait n=%d: %w", n, err)
+		}
+		if *raw {
+			fmt.Println(string(job.Summary))
+			continue
+		}
+		var sum summary
+		if err := json.Unmarshal(job.Summary, &sum); err != nil {
+			return fmt.Errorf("decode summary n=%d: %w", n, err)
+		}
+		cache := "miss"
+		if job.CacheHit {
+			cache = "hit"
+		}
+		fmt.Printf("%-8d %-10s %-6s %10.3f %10.3f %10.3f %10.3f %5.1f%%\n",
+			n, job.ID, cache, sum.SpreadTime.Mean, sum.quantile(0.5), sum.quantile(0.9),
+			sum.SpreadTime.Max, 100*sum.CompletionRate)
+	}
+	return nil
+}
+
+// jobView mirrors the service's job document (the fields the client reads).
+type jobView struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	CacheHit bool            `json:"cache_hit"`
+	Error    string          `json:"error"`
+	Summary  json.RawMessage `json:"summary"`
+}
+
+// summary mirrors the run summary document.
+type summary struct {
+	CompletionRate float64 `json:"completion_rate"`
+	SpreadTime     struct {
+		Mean      float64 `json:"mean"`
+		Max       float64 `json:"max"`
+		Quantiles []struct {
+			Q     float64 `json:"q"`
+			Value float64 `json:"value"`
+		} `json:"quantiles"`
+	} `json:"spread_time"`
+}
+
+func (s summary) quantile(q float64) float64 {
+	for _, e := range s.SpreadTime.Quantiles {
+		if e.Q == q {
+			return e.Value
+		}
+	}
+	return 0
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+// submit posts one run request and decodes the job document.
+func (c *client) submit(body map[string]any) (jobView, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return jobView{}, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/runs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return jobView{}, err
+	}
+	return decodeJob(resp)
+}
+
+// wait polls the job until it settles, failing on non-done terminal states.
+func (c *client) wait(job jobView, timeout time.Duration) (jobView, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		switch job.State {
+		case "done":
+			return job, nil
+		case "failed", "cancelled":
+			return job, fmt.Errorf("job %s %s: %s", job.ID, job.State, job.Error)
+		}
+		if time.Now().After(deadline) {
+			return job, fmt.Errorf("job %s still %s after %v", job.ID, job.State, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := c.http.Get(c.base + "/v1/runs/" + job.ID)
+		if err != nil {
+			return job, err
+		}
+		if job, err = decodeJob(resp); err != nil {
+			return job, err
+		}
+	}
+}
+
+// decodeJob reads a job document, surfacing {"error": ...} bodies as errors.
+func decodeJob(resp *http.Response) (jobView, error) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return jobView{}, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return jobView{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return jobView{}, fmt.Errorf("%s: %s", resp.Status, data)
+	}
+	var v jobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return jobView{}, fmt.Errorf("decode job: %w", err)
+	}
+	return v, nil
+}

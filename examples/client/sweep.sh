@@ -1,0 +1,40 @@
+#!/bin/sh
+# sweep.sh — the curl spelling of examples/client: submit a scenario sweep to
+# a running rumord, poll each job to completion, and print the summaries.
+#
+# Usage: ADDR=http://localhost:8080 sh examples/client/sweep.sh
+# Needs only curl and a POSIX shell (grep/sed for the JSON fields it reads).
+set -eu
+
+ADDR="${ADDR:-http://localhost:8080}"
+FAMILY="${FAMILY:-clique}"
+SIZES="${SIZES:-256 512 1024}"
+REPS="${REPS:-32}"
+SEED="${SEED:-1}"
+
+# field <json> <key>  — extract a scalar JSON field (string or number).
+field() {
+    printf '%s' "$1" | sed -n "s/.*\"$2\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p" | head -n 1
+}
+
+for n in $SIZES; do
+    body="{\"scenario\":{\"network\":{\"family\":\"$FAMILY\",\"params\":{\"n\":$n}}},\"reps\":$REPS,\"seed\":$SEED}"
+    job=$(curl -fsS -X POST -d "$body" "$ADDR/v1/runs")
+    id=$(field "$job" id)
+    state=$(field "$job" state)
+    while [ "$state" != "done" ]; do
+        case "$state" in
+            failed|cancelled)
+                echo "job $id $state" >&2
+                exit 1
+                ;;
+        esac
+        sleep 0.1
+        job=$(curl -fsS "$ADDR/v1/runs/$id")
+        state=$(field "$job" state)
+    done
+    cache=miss
+    case "$job" in *'"cache_hit":true'*) cache=hit ;; esac
+    echo "n=$n job=$id cache=$cache"
+    printf '%s\n' "$job" | sed -n 's/.*"summary":{\(.*\)}$/  {\1/p'
+done

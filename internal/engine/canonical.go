@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/sim"
+)
+
+// Canonical renders the scenario in its canonical byte encoding: two
+// scenarios that describe the same simulation — regardless of JSON key
+// order, whitespace, number spelling (512 vs 5.12e2), or explicitly spelled
+// defaults — canonicalize to identical bytes. This is what makes a content
+// hash over the encoding a stable cache key (see internal/service).
+//
+// The encoding is compact JSON with a fixed field order, sorted params keys
+// (encoding/json sorts map keys), and scenario-level defaults normalized:
+//
+//   - Name is dropped: it labels reports and never influences execution, so
+//     two runs differing only in label share a cache entry.
+//   - Protocol is always spelled out ("" normalizes to "async").
+//   - Mode push-pull — the default — is dropped; push and pull are kept.
+//   - ClockRate 1 is dropped (the simulators treat 0 and 1 identically).
+//   - MaxTime/MaxRounds/Trace zero values are dropped.
+//
+// Params are canonicalized only at the spelling level (key order, float
+// formatting); a family parameter explicitly set to its documented default
+// is intentionally kept — defaults live in the family builders and are not
+// re-derived here.
+//
+// Canonicalization is idempotent: Parse(Canonical(sc)) canonicalizes to the
+// same bytes. Scenarios carrying a custom network factory are rejected with
+// ErrNotSerializable, invalid scenarios with their validation error.
+func Canonical(sc Scenario) ([]byte, error) {
+	if sc.Network.Custom != nil {
+		return nil, ErrNotSerializable
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	form := canonicalForm{
+		Network:   canonicalNetwork{Family: sc.Network.Family, Params: sc.Network.Params},
+		Protocol:  sc.Protocol.normalize(),
+		Start:     sc.Start,
+		ClockRate: sc.ClockRate,
+		MaxTime:   sc.MaxTime,
+		MaxRounds: sc.MaxRounds,
+		Trace:     sc.Trace,
+	}
+	if m := sc.Mode; m != 0 && m != sim.PushPull {
+		form.Mode = m
+	}
+	if form.ClockRate == 1 {
+		form.ClockRate = 0
+	}
+	data, err := json.Marshal(form)
+	if err != nil {
+		return nil, fmt.Errorf("engine: canonicalize scenario: %w", err)
+	}
+	return data, nil
+}
+
+// CanonicalizeJSON parses a JSON scenario document (strictly — unknown
+// fields are rejected, exactly as Parse rejects them) and returns the decoded
+// scenario together with its canonical encoding.
+func CanonicalizeJSON(data []byte) (Scenario, []byte, error) {
+	sc, err := Parse(data)
+	if err != nil {
+		return Scenario{}, nil, err
+	}
+	canon, err := Canonical(sc)
+	if err != nil {
+		return Scenario{}, nil, err
+	}
+	return sc, canon, nil
+}
+
+// canonicalForm mirrors Scenario with the canonical field order and without
+// the Name label. encoding/json emits struct fields in declaration order and
+// map keys sorted, which together with the normalization in Canonical makes
+// the marshalled bytes a canonical form.
+type canonicalForm struct {
+	Network   canonicalNetwork `json:"network"`
+	Protocol  ProtocolKind     `json:"protocol"`
+	Mode      sim.Mode         `json:"mode,omitempty"`
+	Start     *int             `json:"start,omitempty"`
+	ClockRate float64          `json:"clock_rate,omitempty"`
+	MaxTime   float64          `json:"max_time,omitempty"`
+	MaxRounds int              `json:"max_rounds,omitempty"`
+	Trace     bool             `json:"trace,omitempty"`
+}
+
+// canonicalNetwork is NetworkSpec without the (unserializable) custom
+// factory.
+type canonicalNetwork struct {
+	Family string     `json:"family"`
+	Params gen.Params `json:"params,omitempty"`
+}

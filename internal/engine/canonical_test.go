@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/xrand"
+)
+
+// TestCanonicalIdempotentOverCorpus is the round-trip property test over the
+// committed scenario corpus: decode → canonicalize must be idempotent, i.e.
+// re-parsing the canonical bytes and canonicalizing again reproduces them.
+func TestCanonicalIdempotentOverCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no scenario corpus found under examples/scenarios")
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, c1, err := CanonicalizeJSON(data)
+			if err != nil {
+				t.Fatalf("canonicalize: %v", err)
+			}
+			sc2, c2, err := CanonicalizeJSON(c1)
+			if err != nil {
+				t.Fatalf("re-canonicalize: %v", err)
+			}
+			if !bytes.Equal(c1, c2) {
+				t.Fatalf("not idempotent:\n first: %s\nsecond: %s", c1, c2)
+			}
+			// The canonical form must describe the same simulation: strip the
+			// label and the spelled-out defaults the canonical form drops,
+			// then compare the validated scenarios field by field.
+			sc.Name = ""
+			if sc.Mode == sim.PushPull {
+				sc.Mode = 0
+			}
+			if sc.ClockRate == 1 {
+				sc.ClockRate = 0
+			}
+			sc.Protocol = sc2.Protocol // "" and "async" are one protocol
+			enc1, err := Encode(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc2, err := Encode(sc2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("canonical round-trip changed the scenario:\n%s\nvs\n%s", enc1, enc2)
+			}
+		})
+	}
+}
+
+// TestCanonicalSpellingEquivalence: equivalent JSON spellings — permuted
+// keys, number formats, explicit defaults, labels — canonicalize to
+// identical bytes, while a semantic change does not.
+func TestCanonicalSpellingEquivalence(t *testing.T) {
+	base := `{"network":{"family":"gnrho","params":{"n":1024,"rho":0.25}},"protocol":"async"}`
+	equivalent := []string{
+		// Permuted object keys at every level.
+		`{"protocol":"async","network":{"params":{"rho":0.25,"n":1024},"family":"gnrho"}}`,
+		// Number spellings.
+		`{"network":{"family":"gnrho","params":{"n":1.024e3,"rho":2.5e-1}},"protocol":"async"}`,
+		// Protocol defaulted instead of spelled out.
+		`{"network":{"family":"gnrho","params":{"n":1024,"rho":0.25}}}`,
+		// Explicit defaults: push-pull mode, clock rate 1.
+		`{"network":{"family":"gnrho","params":{"n":1024,"rho":0.25}},"mode":"push-pull","clock_rate":1}`,
+		// A label, which never influences execution.
+		`{"name":"my favourite run","network":{"family":"gnrho","params":{"n":1024,"rho":0.25}}}`,
+		// Whitespace.
+		"{\n  \"network\": {\n    \"family\": \"gnrho\",\n    \"params\": {\"n\": 1024, \"rho\": 0.25}\n  }\n}",
+	}
+	_, want, err := CanonicalizeJSON([]byte(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spelling := range equivalent {
+		_, got, err := CanonicalizeJSON([]byte(spelling))
+		if err != nil {
+			t.Fatalf("spelling %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("spelling %d canonicalized to\n%s\nwant\n%s", i, got, want)
+		}
+	}
+	for _, changed := range []string{
+		`{"network":{"family":"gnrho","params":{"n":1025,"rho":0.25}}}`,
+		`{"network":{"family":"gnrho","params":{"n":1024,"rho":0.25}},"mode":"push"}`,
+		`{"network":{"family":"gnrho","params":{"n":1024,"rho":0.25}},"trace":true}`,
+	} {
+		_, got, err := CanonicalizeJSON([]byte(changed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, want) {
+			t.Errorf("semantically different scenario %s canonicalized to the same bytes", changed)
+		}
+	}
+}
+
+// TestCanonicalRejects: unknown fields, invalid scenarios and custom
+// factories fail loudly instead of producing a bogus cache key.
+func TestCanonicalRejects(t *testing.T) {
+	if _, _, err := CanonicalizeJSON([]byte(`{"network":{"family":"clique","params":{"n":8}},"turbo":true}`)); err == nil {
+		t.Error("unknown field accepted")
+	} else if !strings.Contains(err.Error(), "turbo") {
+		t.Errorf("unknown-field error does not name the field: %v", err)
+	}
+	if _, _, err := CanonicalizeJSON([]byte(`{"network":{"family":"warp","params":{"n":8}}}`)); err == nil {
+		t.Error("unknown family accepted")
+	}
+	custom := Scenario{Network: NetworkSpec{Custom: func(rng *xrand.RNG) (dynamic.Network, int, error) {
+		return nil, 0, nil
+	}}}
+	if _, err := Canonical(custom); err != ErrNotSerializable {
+		t.Errorf("custom factory: got %v, want ErrNotSerializable", err)
+	}
+}
+
+// TestFamilyInfos: every family name appears exactly once, sorted, tagged
+// with a kind, and agrees with Families().
+func TestFamilyInfos(t *testing.T) {
+	infos := FamilyInfos()
+	names := Families()
+	if len(infos) != len(names) {
+		t.Fatalf("FamilyInfos has %d entries, Families %d", len(infos), len(names))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("entry %d: name %q, want %q", i, info.Name, names[i])
+		}
+		if info.Kind != "static" && info.Kind != "dynamic" {
+			t.Errorf("family %q has kind %q", info.Name, info.Kind)
+		}
+	}
+	for _, want := range []struct{ name, kind string }{
+		{"clique", "static"},
+		{"dynamic-star", "dynamic"},
+		{"gnrho", "dynamic"},
+	} {
+		found := false
+		for _, info := range infos {
+			if info.Name == want.name {
+				found = info.Kind == want.kind
+			}
+		}
+		if !found {
+			t.Errorf("family %q missing or wrong kind (want %s)", want.name, want.kind)
+		}
+	}
+}

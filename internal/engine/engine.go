@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"dynamicrumor/internal/dynamic"
@@ -42,10 +43,19 @@ func (e Engine) Run(sc Scenario) (*sim.Result, error) {
 // from the engine seed, so the ensemble is bit-identical for every
 // Parallelism value (see internal/runner).
 func (e Engine) RunBatch(sc Scenario, reps int) (*Ensemble, error) {
-	return e.RunBatchFrom(sc, reps, xrand.New(e.Seed))
+	return e.RunBatchCtx(context.Background(), sc, reps)
 }
 
-// RunBatchFrom is RunBatch with an explicit base generator in place of the
+// RunBatchCtx is RunBatch under a context: cancelling ctx stops the batch at
+// the next repetition boundary (in-flight repetitions complete, no new ones
+// start) and returns ctx.Err(). A batch that runs to completion is unaffected
+// by its context, so RunBatchCtx(context.Background(), …) and RunBatch agree
+// bit for bit.
+func (e Engine) RunBatchCtx(ctx context.Context, sc Scenario, reps int) (*Ensemble, error) {
+	return e.RunBatchFrom(ctx, sc, reps, xrand.New(e.Seed))
+}
+
+// RunBatchFrom is RunBatchCtx with an explicit base generator in place of the
 // engine seed. It exists so callers that are themselves part of a larger
 // deterministic experiment (the E1–E12 suite) can hand the engine a derived
 // stream; most callers want RunBatch.
@@ -57,9 +67,9 @@ func (e Engine) RunBatch(sc Scenario, reps int) (*Ensemble, error) {
 // results — every repetition consumes exactly the RNG stream the historical
 // build-per-repetition loop consumed.
 //
-// The base generator is advanced reps times over the course of the call and
-// must not be used concurrently with it.
-func (e Engine) RunBatchFrom(sc Scenario, reps int, base *xrand.RNG) (*Ensemble, error) {
+// The base generator is advanced reps times over the course of the call —
+// even when the run is cancelled — and must not be used concurrently with it.
+func (e Engine) RunBatchFrom(ctx context.Context, sc Scenario, reps int, base *xrand.RNG) (*Ensemble, error) {
 	cs, err := compileScenario(sc)
 	if err != nil {
 		return nil, err
@@ -67,7 +77,7 @@ func (e Engine) RunBatchFrom(sc Scenario, reps int, base *xrand.RNG) (*Ensemble,
 	if reps < 1 {
 		return nil, fmt.Errorf("engine: reps must be >= 1, got %d", reps)
 	}
-	results, err := runner.MapLocal(e.Parallelism, reps, base, newWorkerState,
+	results, err := runner.MapLocal(ctx, e.Parallelism, reps, base, newWorkerState,
 		func(rep int, sub *xrand.RNG, ws *workerState) (*sim.Result, error) {
 			// Results are retained by the ensemble, so this path hands the
 			// simulator a nil result and lets it allocate a fresh one.
@@ -98,12 +108,21 @@ type Reducer func(rep int, res *sim.Result) error
 // earlier repetition has been reduced; the returned error identifies the
 // lowest failing repetition deterministically.
 func (e Engine) RunReduce(sc Scenario, reps int, reduce Reducer) error {
-	return e.RunReduceFrom(sc, reps, xrand.New(e.Seed), reduce)
+	return e.RunReduceCtx(context.Background(), sc, reps, reduce)
 }
 
-// RunReduceFrom is RunReduce with an explicit base generator in place of the
-// engine seed, mirroring RunBatchFrom.
-func (e Engine) RunReduceFrom(sc Scenario, reps int, base *xrand.RNG, reduce Reducer) error {
+// RunReduceCtx is RunReduce under a context: cancelling ctx stops the run at
+// the next repetition boundary — every already-claimed repetition is still
+// reduced, in order — and returns ctx.Err(). This is the entry point of
+// long-lived callers (the rumord service) that must be able to abandon a
+// batch without leaking its workers.
+func (e Engine) RunReduceCtx(ctx context.Context, sc Scenario, reps int, reduce Reducer) error {
+	return e.RunReduceFrom(ctx, sc, reps, xrand.New(e.Seed), reduce)
+}
+
+// RunReduceFrom is RunReduceCtx with an explicit base generator in place of
+// the engine seed, mirroring RunBatchFrom.
+func (e Engine) RunReduceFrom(ctx context.Context, sc Scenario, reps int, base *xrand.RNG, reduce Reducer) error {
 	cs, err := compileScenario(sc)
 	if err != nil {
 		return err
@@ -111,7 +130,7 @@ func (e Engine) RunReduceFrom(sc Scenario, reps int, base *xrand.RNG, reduce Red
 	if reps < 1 {
 		return fmt.Errorf("engine: reps must be >= 1, got %d", reps)
 	}
-	return runner.MapReduce(e.Parallelism, reps, base, newWorkerState,
+	return runner.MapReduce(ctx, e.Parallelism, reps, base, newWorkerState,
 		func(rep int, sub *xrand.RNG, ws *workerState) (*sim.Result, error) {
 			// The worker's one recycled result is safe here: MapReduce
 			// guarantees it is reduced before the worker starts its next

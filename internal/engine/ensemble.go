@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"dynamicrumor/internal/analysis"
 	"dynamicrumor/internal/sim"
 	"dynamicrumor/internal/stats"
@@ -127,8 +129,14 @@ func (b *BatchStats) CompletionRate() float64 {
 // estimates, not exact order statistics — callers needing exact quantiles
 // over the full sample use RunReduce and collect the values themselves.
 func (e Engine) RunStats(sc Scenario, reps int) (*BatchStats, error) {
+	return e.RunStatsCtx(context.Background(), sc, reps)
+}
+
+// RunStatsCtx is RunStats under a context, with RunReduceCtx's cancellation
+// semantics: a cancelled run returns ctx.Err() and no BatchStats.
+func (e Engine) RunStatsCtx(ctx context.Context, sc Scenario, reps int) (*BatchStats, error) {
 	b := &BatchStats{SpreadTime: stats.NewStream(0.5, 0.9)}
-	err := e.RunReduce(sc, reps, func(rep int, res *sim.Result) error {
+	err := e.RunReduceCtx(ctx, sc, reps, func(rep int, res *sim.Result) error {
 		b.SpreadTime.Add(res.SpreadTime)
 		if res.Completed {
 			b.Completed++

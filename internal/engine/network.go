@@ -164,3 +164,32 @@ func Families() []string {
 	sort.Strings(out)
 	return out
 }
+
+// FamilyInfo describes one registered network family for API consumers: its
+// name, whether it is a static graph family or a genuinely dynamic
+// construction, and the parameter keys its spec accepts.
+type FamilyInfo struct {
+	// Name is the family name a NetworkSpec selects.
+	Name string `json:"name"`
+	// Kind is "static" for graph families wrapped in dynamic.NewStatic and
+	// "dynamic" for the evolving constructions.
+	Kind string `json:"kind"`
+	// Params are the accepted parameter keys, in registration order.
+	Params []string `json:"params,omitempty"`
+}
+
+// FamilyInfos returns a FamilyInfo for every buildable family, sorted by
+// name. It is the machine-readable companion of Families, serving the rumord
+// GET /v1/scenarios/families endpoint.
+func FamilyInfos() []FamilyInfo {
+	var out []FamilyInfo
+	for _, name := range gen.Families() {
+		keys, _ := gen.AllowedKeys(name)
+		out = append(out, FamilyInfo{Name: name, Kind: "static", Params: keys})
+	}
+	for name, fam := range dynamicFamilies {
+		out = append(out, FamilyInfo{Name: name, Kind: "dynamic", Params: fam.keys})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

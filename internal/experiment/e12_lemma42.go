@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -43,7 +45,7 @@ func RunE12(cfg Config) (*Table, error) {
 			last         float64
 			fwd, twoPush bool
 		}
-		crossings, err := runner.Map(cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (crossing, error) {
+		crossings, err := runner.Map(context.Background(), cfg.Parallelism, reps, rng, func(rep int, sub *xrand.RNG) (crossing, error) {
 			fw, err := sim.RunForwardTwoPush(g, sim.LayeredOptions{Layers: layers, Horizon: 1}, sub.Split(1))
 			if err != nil {
 				return crossing{}, fmt.Errorf("forward 2-push: %w", err)

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 
 	"dynamicrumor/internal/dynamic"
@@ -41,7 +43,7 @@ func RunE9(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("regular graph n=%d d=%d: %w", inst.n, inst.delta, err)
 		}
 		net := dynamic.NewStatic(g)
-		counts, err := runner.MapLocal(cfg.Parallelism, reps, rng, newRepScratch,
+		counts, err := runner.MapLocal(context.Background(), cfg.Parallelism, reps, rng, newRepScratch,
 			func(rep int, sub *xrand.RNG, rs *repScratch) (float64, error) {
 				res, err := sim.RunAsyncInto(net, sim.AsyncOptions{Start: rep % inst.n, MaxTime: 1}, sub, rs.sc, &rs.res)
 				if err != nil {

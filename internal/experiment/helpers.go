@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"dynamicrumor/internal/dynamic"
 	"dynamicrumor/internal/engine"
 	"dynamicrumor/internal/sim"
@@ -32,7 +34,7 @@ func measure(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, sc en
 	}
 	eng := engine.Engine{Parallelism: cfg.Parallelism}
 	times := make([]float64, reps)
-	err := eng.RunReduceFrom(sc, reps, rng, func(rep int, res *sim.Result) error {
+	err := eng.RunReduceFrom(context.Background(), sc, reps, rng, func(rep int, res *sim.Result) error {
 		times[rep] = res.SpreadTime
 		return nil
 	})

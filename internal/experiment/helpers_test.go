@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -26,7 +28,7 @@ func TestMeasureHelpersMatchHistoricalLoop(t *testing.T) {
 	}
 
 	historicalAsync := func(base *xrand.RNG) []float64 {
-		out, err := runner.Map(1, reps, base, func(rep int, sub *xrand.RNG) (float64, error) {
+		out, err := runner.Map(context.Background(), 1, reps, base, func(rep int, sub *xrand.RNG) (float64, error) {
 			net, start, err := factory(sub.Split(1))
 			if err != nil {
 				return 0, err
@@ -52,7 +54,7 @@ func TestMeasureHelpersMatchHistoricalLoop(t *testing.T) {
 	}
 
 	historicalSync := func(base *xrand.RNG) []float64 {
-		out, err := runner.Map(1, reps, base, func(rep int, sub *xrand.RNG) (float64, error) {
+		out, err := runner.Map(context.Background(), 1, reps, base, func(rep int, sub *xrand.RNG) (float64, error) {
 			net, start, err := factory(sub.Split(1))
 			if err != nil {
 				return 0, err

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -23,13 +25,13 @@ func TestMapReduceMatchesMapLocal(t *testing.T) {
 		}
 		return sum + float64(rep), nil
 	}
-	want, err := MapLocal(1, reps, xrand.New(42), func() struct{} { return struct{}{} }, job)
+	want, err := MapLocal(context.Background(), 1, reps, xrand.New(42), func() struct{} { return struct{}{} }, job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, par := range []int{1, 2, 3, 8, 16} {
 		got := make([]float64, 0, reps)
-		err := MapReduce(par, reps, xrand.New(42), func() struct{} { return struct{}{} }, job,
+		err := MapReduce(context.Background(), par, reps, xrand.New(42), func() struct{} { return struct{}{} }, job,
 			func(rep int, v float64) error {
 				if rep != len(got) {
 					return fmt.Errorf("reduce called with rep %d, want %d", rep, len(got))
@@ -56,7 +58,7 @@ func TestMapReduceMatchesMapLocal(t *testing.T) {
 func TestMapReduceOrderUnderSkew(t *testing.T) {
 	const reps = 40
 	next := 0
-	err := MapReduce(8, reps, xrand.New(1), func() struct{} { return struct{}{} },
+	err := MapReduce(context.Background(), 8, reps, xrand.New(1), func() struct{} { return struct{}{} },
 		func(rep int, _ *xrand.RNG, _ struct{}) (int, error) {
 			if rep%5 == 0 {
 				time.Sleep(2 * time.Millisecond)
@@ -83,11 +85,11 @@ func TestMapReduceOrderUnderSkew(t *testing.T) {
 // longer deterministic experiment.
 func TestMapReduceAdvancesBaseLikeMapLocal(t *testing.T) {
 	a, b := xrand.New(9), xrand.New(9)
-	if _, err := MapLocal(4, 17, a, func() struct{} { return struct{}{} },
+	if _, err := MapLocal(context.Background(), 4, 17, a, func() struct{} { return struct{}{} },
 		func(rep int, _ *xrand.RNG, _ struct{}) (int, error) { return rep, nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := MapReduce(4, 17, b, func() struct{} { return struct{}{} },
+	if err := MapReduce(context.Background(), 4, 17, b, func() struct{} { return struct{}{} },
 		func(rep int, _ *xrand.RNG, _ struct{}) (int, error) { return rep, nil },
 		func(int, int) error { return nil }); err != nil {
 		t.Fatal(err)
@@ -104,7 +106,7 @@ func TestMapReduceJobError(t *testing.T) {
 	boom := errors.New("boom")
 	for _, par := range []int{1, 4} {
 		reduced := 0
-		err := MapReduce(par, 50, xrand.New(3), func() struct{} { return struct{}{} },
+		err := MapReduce(context.Background(), par, 50, xrand.New(3), func() struct{} { return struct{}{} },
 			func(rep int, _ *xrand.RNG, _ struct{}) (int, error) {
 				if rep == 20 || rep == 35 {
 					return 0, boom
@@ -134,7 +136,7 @@ func TestMapReduceReducerError(t *testing.T) {
 	stop := errors.New("stop")
 	for _, par := range []int{1, 6} {
 		var ran atomic.Int64
-		err := MapReduce(par, 100, xrand.New(4), func() struct{} { return struct{}{} },
+		err := MapReduce(context.Background(), par, 100, xrand.New(4), func() struct{} { return struct{}{} },
 			func(rep int, _ *xrand.RNG, _ struct{}) (int, error) {
 				ran.Add(1)
 				return rep, nil
@@ -158,7 +160,7 @@ func TestMapReduceReducerError(t *testing.T) {
 
 // TestMapReduceZeroReps mirrors Map's no-op contract.
 func TestMapReduceZeroReps(t *testing.T) {
-	err := MapReduce(4, 0, xrand.New(1), func() struct{} { return struct{}{} },
+	err := MapReduce(context.Background(), 4, 0, xrand.New(1), func() struct{} { return struct{}{} },
 		func(rep int, _ *xrand.RNG, _ struct{}) (int, error) { return 0, nil },
 		func(int, int) error { t.Fatal("reduce called"); return nil })
 	if err != nil {
@@ -177,7 +179,7 @@ func TestMapLazyStreamsMatchEagerStreams(t *testing.T) {
 		wantFirst[i] = s.Uint64()
 	}
 	for _, par := range []int{1, 5} {
-		got, err := Map(par, reps, xrand.New(77), func(rep int, rng *xrand.RNG) (uint64, error) {
+		got, err := Map(context.Background(), par, reps, xrand.New(77), func(rep int, rng *xrand.RNG) (uint64, error) {
 			return rng.Uint64(), nil
 		})
 		if err != nil {

@@ -17,6 +17,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -72,8 +73,10 @@ func Streams(base *xrand.RNG, reps int) []*xrand.RNG {
 // serialized under the mutex in increasing repetition order, so the i-th
 // Uint64 drawn from the base generator always seeds stream i — the exact
 // derivation Streams performs eagerly. It stops handing out repetitions once
-// aborted.
+// aborted or once the run's context is cancelled; because claims are
+// sequential, the set of claimed repetitions is always a prefix [0, k).
 type streamSource struct {
+	ctx     context.Context
 	mu      sync.Mutex
 	base    *xrand.RNG
 	next    int
@@ -82,10 +85,18 @@ type streamSource struct {
 }
 
 // claim derives the next repetition's stream into dst and returns its index,
-// or ok=false when the repetitions are exhausted or the run was aborted.
+// or ok=false when the repetitions are exhausted, the run was aborted, or the
+// context was cancelled. Cancellation is only observed here — between
+// repetitions — so a claimed repetition always runs to completion and (on the
+// reduce path) always takes its reduction turn; see MapReduce.
 func (s *streamSource) claim(dst *xrand.RNG) (rep int, ok bool) {
 	s.mu.Lock()
 	if s.aborted || s.next >= s.reps {
+		s.mu.Unlock()
+		return 0, false
+	}
+	if s.ctx.Err() != nil {
+		s.aborted = true
 		s.mu.Unlock()
 		return 0, false
 	}
@@ -94,6 +105,27 @@ func (s *streamSource) claim(dst *xrand.RNG) (rep int, ok bool) {
 	s.base.SplitInto(uint64(rep)+1, dst)
 	s.mu.Unlock()
 	return rep, true
+}
+
+// incomplete reports whether any repetition was never handed out. Read it
+// before drain, which advances next to reps.
+func (s *streamSource) incomplete() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next < s.reps
+}
+
+// cancelErr is the shared cancellation epilogue: it returns ctx.Err() when
+// the run was cut short — draining the unclaimed repetitions first so the
+// base generator still ends fully advanced — and nil when every repetition
+// had been claimed before the cancellation landed (the run finished). The
+// incomplete check must precede drain, which advances next to reps.
+func (s *streamSource) cancelErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil && s.incomplete() {
+		s.drain()
+		return err
+	}
+	return nil
 }
 
 // abort stops further claims; in-flight repetitions still complete.
@@ -129,8 +161,14 @@ type LocalJob[T, L any] func(rep int, rng *xrand.RNG, local L) (T, error)
 // repetitions fail, Map completes the remaining repetitions and returns the
 // error of the lowest-indexed failure wrapped in a *RepError — again
 // independent of scheduling order.
-func Map[T any](parallelism, reps int, base *xrand.RNG, fn Job[T]) ([]T, error) {
-	return MapLocal(parallelism, reps, base, func() struct{} { return struct{}{} },
+//
+// Cancelling ctx stops the run at the next repetition boundary: in-flight
+// repetitions complete, no new ones start, and Map returns ctx.Err() (unless
+// every repetition had already been claimed, in which case the run finishes
+// normally). Context checks happen only between repetitions, so a run whose
+// context is never cancelled pays one atomic load per claim and nothing else.
+func Map[T any](ctx context.Context, parallelism, reps int, base *xrand.RNG, fn Job[T]) ([]T, error) {
+	return MapLocal(ctx, parallelism, reps, base, func() struct{} { return struct{}{} },
 		func(rep int, rng *xrand.RNG, _ struct{}) (T, error) { return fn(rep, rng) })
 }
 
@@ -140,12 +178,12 @@ func Map[T any](parallelism, reps int, base *xrand.RNG, fn Job[T]) ([]T, error) 
 // engine gives each worker one reusable sim.Scratch for all of its
 // repetitions — the determinism contract is unchanged because the local
 // state carries no randomness and no results.
-func MapLocal[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L]) ([]T, error) {
+func MapLocal[T, L any](ctx context.Context, parallelism, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L]) ([]T, error) {
 	if reps <= 0 {
 		return nil, nil
 	}
 	out := make([]T, reps)
-	src := &streamSource{base: base, reps: reps}
+	src := &streamSource{ctx: ctx, base: base, reps: reps}
 
 	workers := Parallelism(parallelism)
 	if workers > reps {
@@ -165,6 +203,9 @@ func MapLocal[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() 
 				return nil, &RepError{Rep: i, Err: err}
 			}
 			out[i] = v
+		}
+		if err := src.cancelErr(ctx); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -194,8 +235,14 @@ func MapLocal[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() 
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			// A concurrent cancellation may have stopped the claims early;
+			// drain so the base generator ends fully advanced regardless.
+			src.drain()
 			return nil, &RepError{Rep: i, Err: err}
 		}
+	}
+	if err := src.cancelErr(ctx); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -225,11 +272,21 @@ type Reducer[T any] func(rep int, v T) error
 // claiming new repetitions, and the failure is returned wrapped in a
 // *RepError (reducer errors are returned unwrapped). Which error is returned
 // is deterministic: every earlier repetition succeeded and was reduced.
-func MapReduce[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
+//
+// Cancelling ctx stops the run at the next repetition boundary and returns
+// ctx.Err() once every in-flight repetition has been reduced. Cancellation
+// can never deadlock the turn-taking: it is observed only in claim, before a
+// repetition exists, so every claimed repetition runs to completion and takes
+// its reduction turn — the claimed set is a prefix [0, k), each of its
+// members advances the turn exactly once, and the turn therefore reaches k
+// and releases every waiting worker. A worker must not bail out between
+// claim and takeTurn for exactly this reason: an abandoned claimed
+// repetition would strand every later repetition's worker in cond.Wait.
+func MapReduce[T, L any](ctx context.Context, parallelism, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
 	if reps <= 0 {
 		return nil
 	}
-	src := &streamSource{base: base, reps: reps}
+	src := &streamSource{ctx: ctx, base: base, reps: reps}
 
 	workers := Parallelism(parallelism)
 	if workers > reps {
@@ -241,7 +298,7 @@ func MapReduce[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func()
 		for {
 			i, ok := src.claim(&rng)
 			if !ok {
-				return nil
+				return src.cancelErr(ctx)
 			}
 			v, err := fn(i, &rng, local)
 			if err != nil {
@@ -301,6 +358,9 @@ func MapReduce[T, L any](parallelism, reps int, base *xrand.RNG, newLocal func()
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = src.cancelErr(ctx)
+	}
 	src.drain()
 	return firstErr
 }

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -31,7 +33,7 @@ func TestMapMatchesSerialLoop(t *testing.T) {
 		want[rep] = v
 	}
 	for _, p := range []int{0, 1, 2, 3, 8, 64} {
-		got, err := Map(p, reps, xrand.New(42), drain)
+		got, err := Map(context.Background(), p, reps, xrand.New(42), drain)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", p, err)
 		}
@@ -44,7 +46,7 @@ func TestMapMatchesSerialLoop(t *testing.T) {
 }
 
 func TestMapZeroReps(t *testing.T) {
-	out, err := Map(4, 0, xrand.New(1), drain)
+	out, err := Map(context.Background(), 4, 0, xrand.New(1), drain)
 	if err != nil || out != nil {
 		t.Fatalf("Map with 0 reps = (%v, %v), want (nil, nil)", out, err)
 	}
@@ -53,7 +55,7 @@ func TestMapZeroReps(t *testing.T) {
 func TestMapReturnsLowestIndexedError(t *testing.T) {
 	sentinel := errors.New("boom")
 	for _, p := range []int{1, 4} {
-		_, err := Map(p, 16, xrand.New(9), func(rep int, _ *xrand.RNG) (int, error) {
+		_, err := Map(context.Background(), p, 16, xrand.New(9), func(rep int, _ *xrand.RNG) (int, error) {
 			if rep%5 == 2 { // reps 2, 7, 12 fail
 				return 0, sentinel
 			}
@@ -78,7 +80,7 @@ func TestMapReturnsLowestIndexedError(t *testing.T) {
 func TestMapRunsEveryRepExactlyOnce(t *testing.T) {
 	const reps = 200
 	var calls [reps]atomic.Int32
-	out, err := Map(8, reps, xrand.New(3), func(rep int, _ *xrand.RNG) (int, error) {
+	out, err := Map(context.Background(), 8, reps, xrand.New(3), func(rep int, _ *xrand.RNG) (int, error) {
 		calls[rep].Add(1)
 		return rep * rep, nil
 	})

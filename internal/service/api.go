@@ -1,0 +1,193 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dynamicrumor/internal/engine"
+)
+
+// maxBodyBytes bounds a submission body; scenarios are small declarative
+// documents, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// SubmitRequest is the body of POST /v1/runs.
+type SubmitRequest struct {
+	// Scenario is a declarative engine scenario (strict: unknown fields are
+	// rejected). Trace recording is stripped — the service reports summary
+	// statistics, never per-repetition traces — so spellings differing only
+	// in "trace" share a cache entry.
+	Scenario json.RawMessage `json:"scenario"`
+	// Reps is the repetition count (required, >= 1).
+	Reps int `json:"reps"`
+	// Seed is the ensemble seed (default 0). Equal scenario+seed+reps are
+	// answered from the result cache, byte-identically.
+	Seed uint64 `json:"seed"`
+}
+
+// FamiliesResponse is the body of GET /v1/scenarios/families.
+type FamiliesResponse struct {
+	Families []engine.FamilyInfo `json:"families"`
+}
+
+// RunsResponse is the body of GET /v1/runs.
+type RunsResponse struct {
+	Runs []JobView `json:"runs"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/runs                submit a run (202; 200 on a cache hit)
+//	GET    /v1/runs                list jobs in submission order
+//	GET    /v1/runs/{id}           job status + summary when done
+//	DELETE /v1/runs/{id}           cancel a queued or running job
+//	GET    /v1/scenarios/families  the network family registry
+//	GET    /healthz                liveness
+//	GET    /metrics                job/cache/budget/throughput counters
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/scenarios/families", s.handleFamilies)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("request body exceeds 1 MiB"))
+		return
+	}
+	var req SubmitRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	// One request per document, the same fail-loudly stance engine.Parse
+	// takes: trailing content is a malformed edit, not something to drop.
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("trailing content after the request object"))
+		return
+	}
+	if len(req.Scenario) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`"scenario" is required`))
+		return
+	}
+	if req.Reps < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`"reps" must be >= 1, got %d`, req.Reps))
+		return
+	}
+	if req.Reps > s.maxReps {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`"reps" %d exceeds the limit of %d`, req.Reps, s.maxReps))
+		return
+	}
+	sc, err := engine.Parse(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The service never records traces; strip the flag so the canonical
+	// encoding — and therefore the cache key — ignores it.
+	sc.Trace = false
+	canonical, err := engine.Canonical(sc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.submit(sc, canonical, req.Reps, req.Seed)
+	switch {
+	case err == nil:
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, errShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.CacheHit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, RunsResponse{Runs: s.jobViews()})
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobView(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.cancelJob(r.PathValue("id"))
+	switch {
+	case errors.Is(err, errUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, errAlreadyTerminal):
+		writeError(w, http.StatusConflict, fmt.Errorf("%w (state %s)", err, view.State))
+		return
+	}
+	// A queued job is cancelled synchronously (200); a running one settles at
+	// its next repetition boundary (202, poll the job until it is terminal —
+	// normally "cancelled", but a cancel racing the final repetition can
+	// still settle as "done").
+	status := http.StatusOK
+	if view.State == StateRunning {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Service) handleFamilies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, FamiliesResponse{Families: engine.FamilyInfos()})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics())
+}
+
+// writeJSON renders a response document. Every body ends in a newline so
+// curl output is readable.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError renders {"error": ...} with the status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,49 @@
+package service
+
+import "encoding/json"
+
+// resultCache maps run keys to completed summary bytes. It is a plain
+// insertion-order FIFO bounded at limit entries: summaries are tiny (a few
+// hundred bytes) and equally cheap to recompute, so recency tracking would
+// buy little — the cache's job is absorbing repeated submissions of the same
+// scenario, which arrive close together.
+//
+// The cache is not self-locking; the service serializes access under its
+// mutex.
+type resultCache struct {
+	limit   int
+	entries map[string]json.RawMessage
+	order   []string
+}
+
+func newResultCache(limit int) *resultCache {
+	return &resultCache{limit: limit, entries: make(map[string]json.RawMessage)}
+}
+
+// get returns the cached summary bytes for the key.
+func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	v, ok := c.entries[key]
+	return v, ok
+}
+
+// put stores the summary under the key, evicting the oldest entries beyond
+// the limit. Re-putting an existing key is a no-op: the engine guarantees an
+// equal key means byte-identical bytes, so the first writer wins harmlessly.
+func (c *resultCache) put(key string, summary json.RawMessage) {
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	for len(c.order) >= c.limit && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	if c.limit <= 0 {
+		return
+	}
+	c.entries[key] = summary
+	c.order = append(c.order, key)
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int { return len(c.entries) }

@@ -1,0 +1,516 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/runner"
+	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/stats"
+)
+
+// Config carries the service policy knobs. The zero value selects sensible
+// defaults everywhere.
+type Config struct {
+	// Budget is the total number of engine worker goroutines shared by every
+	// running job (<= 0 selects runtime.GOMAXPROCS(0)). The scheduler grants
+	// each dispatched job a slice of the budget and never exceeds it in
+	// aggregate, so the service's CPU footprint is bounded no matter how many
+	// jobs are in flight.
+	Budget int
+	// QueueLimit bounds the number of queued jobs; submissions beyond it are
+	// rejected with 429 (<= 0 selects 256).
+	QueueLimit int
+	// CacheLimit bounds the result cache entries (<= 0 selects 1024).
+	CacheLimit int
+	// MaxReps bounds a single job's repetition count (<= 0 selects 10⁷).
+	MaxReps int
+	// HistoryLimit bounds the retained terminal job records (<= 0 selects
+	// 4096): beyond it the oldest finished jobs are forgotten, so a
+	// long-lived daemon's memory does not grow with lifetime submissions.
+	// Queued and running jobs are never evicted, and the bound is amortized —
+	// the history may transiently overshoot by up to 1/8 before a prune.
+	HistoryLimit int
+	// Clock overrides the time source (tests pin it for golden responses).
+	Clock func() time.Time
+}
+
+// Service schedules ensemble runs onto the batch engine and caches their
+// results. Create one with New, expose it with Handler, stop it with Close.
+type Service struct {
+	budget       int
+	queueLimit   int
+	maxReps      int
+	historyLimit int
+	clock        func() time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*job
+	jobs      map[string]*job
+	order     []string
+	inflight  map[string]*job
+	terminal  int
+	nextID    int
+	inUse     int
+	closed    bool
+	cache     *resultCache
+	hits      int64
+	misses    int64
+	coalesced int64
+	started   time.Time
+
+	// repsDone counts every reduced repetition, including those of jobs that
+	// were later cancelled; finishedReps/busy only aggregate jobs that ran to
+	// completion, so reps-per-second is a throughput of useful work.
+	repsDone     atomic.Int64
+	finishedReps int64
+	busy         time.Duration
+
+	wg sync.WaitGroup
+}
+
+// New starts a service (its dispatcher goroutine runs until Close).
+func New(cfg Config) *Service {
+	s := &Service{
+		budget:       runner.Parallelism(cfg.Budget),
+		queueLimit:   cfg.QueueLimit,
+		maxReps:      cfg.MaxReps,
+		historyLimit: cfg.HistoryLimit,
+		clock:        cfg.Clock,
+	}
+	if s.queueLimit <= 0 {
+		s.queueLimit = 256
+	}
+	if s.maxReps <= 0 {
+		s.maxReps = 10_000_000
+	}
+	if s.historyLimit <= 0 {
+		s.historyLimit = 4096
+	}
+	if s.clock == nil {
+		s.clock = time.Now
+	}
+	cacheLimit := cfg.CacheLimit
+	if cacheLimit <= 0 {
+		cacheLimit = 1024
+	}
+	s.cache = newResultCache(cacheLimit)
+	s.cond = sync.NewCond(&s.mu)
+	s.jobs = make(map[string]*job)
+	s.inflight = make(map[string]*job)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.started = s.clock()
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// Close stops the service: queued jobs are cancelled, running jobs are
+// cancelled at their next repetition boundary, and Close returns once every
+// goroutine has settled. The HTTP handlers reject new submissions afterwards.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	now := s.clock()
+	for _, j := range s.queue {
+		j.state = StateCancelled
+		j.errMsg = "cancelled: service shutting down"
+		j.finished = now
+		s.terminal++
+		s.settleFollowersLocked(j)
+	}
+	s.queue = nil
+	s.baseCancel()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// submit validates a submission and either answers it from the cache or
+// enqueues a job. The returned view is rendered atomically with the
+// enqueue, so a submit response always reads "queued" (or "done" for a
+// cache hit) even if the dispatcher picks the job up immediately.
+func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed uint64) (JobView, error) {
+	key := runKey(canonical, seed, reps)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobView{}, errShutdown
+	}
+	now := s.clock()
+	if summary, ok := s.cache.get(key); ok {
+		s.hits++
+		j := s.newJobLocked(sc, canonical, key, reps, seed, now)
+		j.state = StateDone
+		j.cacheHit = true
+		j.started, j.finished = now, now
+		j.summary = summary
+		s.terminal++
+		s.pruneHistoryLocked()
+		return j.view(), nil
+	}
+	// Coalesce onto an identical in-flight run: the engine would compute
+	// bit-identical results, so the follower just rides the leader and
+	// settles with it, consuming no queue slot and no worker budget.
+	if leader, ok := s.inflight[key]; ok {
+		s.coalesced++
+		j := s.newJobLocked(sc, canonical, key, reps, seed, now)
+		j.state = StateQueued
+		j.leader = leader
+		leader.followers = append(leader.followers, j)
+		return j.view(), nil
+	}
+	if len(s.queue) >= s.queueLimit {
+		return JobView{}, errQueueFull
+	}
+	s.misses++
+	j := s.newJobLocked(sc, canonical, key, reps, seed, now)
+	j.state = StateQueued
+	s.queue = append(s.queue, j)
+	s.inflight[key] = j
+	s.cond.Signal()
+	return j.view(), nil
+}
+
+// pruneHistoryLocked forgets the oldest terminal job records beyond the
+// history limit, bounding the service's memory over its lifetime. Queued,
+// running and coalesced-in-flight jobs are never evicted. Callers hold the
+// mutex.
+func (s *Service) pruneHistoryLocked() {
+	// The terminal counter makes the common case O(1); the O(jobs)
+	// compaction walk is amortized by letting the history overshoot the
+	// limit by 1/8 before paying for it.
+	if s.terminal <= s.historyLimit+s.historyLimit/8 {
+		return
+	}
+	excess := s.terminal - s.historyLimit
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if excess > 0 && s.jobs[id].state.Terminal() {
+			delete(s.jobs, id)
+			s.terminal--
+			excess--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// newJobLocked allocates and registers a job record. Callers hold the mutex.
+func (s *Service) newJobLocked(sc engine.Scenario, canonical []byte, key string, reps int, seed uint64, now time.Time) *job {
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j%08d", s.nextID),
+		scenario:  sc,
+		canonical: canonical,
+		key:       key,
+		reps:      reps,
+		seed:      seed,
+		submitted: now,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return j
+}
+
+// grantWorkers decides a dispatched job's share of the worker budget: every
+// free worker, capped by the job's repetition count (more workers than
+// repetitions would idle). The dispatcher only calls it with free capacity,
+// so the grant is always at least 1; a later job can start alongside a
+// running one whenever the head job left budget unused.
+func grantWorkers(reps, budget, inUse int) int {
+	free := budget - inUse
+	if free <= 0 {
+		return 0
+	}
+	if reps < free {
+		return reps
+	}
+	return free
+}
+
+// dispatch is the scheduler loop: strictly FIFO — the head job waits for
+// free budget and nothing overtakes it — with each dispatched job granted
+// grantWorkers of the shared budget for its whole run.
+func (s *Service) dispatch() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.closed && (len(s.queue) == 0 || s.inUse >= s.budget) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		workers := grantWorkers(j.reps, s.budget, s.inUse)
+		s.inUse += workers
+		j.workers = workers
+		j.state = StateRunning
+		j.started = s.clock()
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j.cancel = cancel
+		s.wg.Add(1)
+		go s.runJob(j, ctx, cancel, workers)
+	}
+}
+
+// runJob executes one job on its granted workers and settles its terminal
+// state. The engine's determinism contract means the summary depends only on
+// (canonical scenario, seed, reps) — never on the worker grant — which is
+// what makes the result cacheable.
+func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc, workers int) {
+	defer s.wg.Done()
+	// Release the context on every exit path: a finished job must not stay
+	// registered in the base context's children, or daemon memory would grow
+	// with lifetime jobs despite the bounded history.
+	defer cancel()
+	eng := engine.Engine{Parallelism: workers, Seed: j.seed}
+	stream := stats.NewStream(0.5, 0.9)
+	completed := 0
+	err := eng.RunReduceCtx(ctx, j.scenario, j.reps, func(rep int, res *sim.Result) error {
+		stream.Add(res.SpreadTime)
+		if res.Completed {
+			completed++
+		}
+		j.repsDone.Add(1)
+		s.repsDone.Add(1)
+		return nil
+	})
+	var summary []byte
+	if err == nil {
+		summary, err = buildSummary(j.key, j.reps, j.seed, completed, stream)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inUse -= workers
+	s.cond.Broadcast()
+	j.finished = s.clock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.summary = summary
+		s.cache.put(j.key, summary)
+		s.finishedReps += int64(j.reps)
+		s.busy += j.finished.Sub(j.started)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.errMsg = "cancelled after " + fmt.Sprint(j.repsDone.Load()) + " repetitions"
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	s.terminal++
+	s.settleFollowersLocked(j)
+	s.pruneHistoryLocked()
+}
+
+// settleFollowersLocked resolves a settled leader's coalesced followers: a
+// done or failed leader settles them identically (the engine would have
+// produced bit-identical results for them), while a cancelled leader hands
+// the run over — the first follower is promoted to a fresh queued leader so
+// one client's DELETE cannot kill another client's submission. Callers hold
+// the mutex.
+func (s *Service) settleFollowersLocked(leader *job) {
+	if s.inflight[leader.key] == leader {
+		delete(s.inflight, leader.key)
+	}
+	followers := leader.followers
+	leader.followers = nil
+	if len(followers) == 0 {
+		return
+	}
+	now := s.clock()
+	switch leader.state {
+	case StateDone, StateFailed:
+		for _, f := range followers {
+			f.leader = nil
+			f.state = leader.state
+			f.summary = leader.summary
+			f.errMsg = leader.errMsg
+			f.started, f.finished = now, now
+			s.terminal++
+		}
+	case StateCancelled:
+		if s.closed {
+			for _, f := range followers {
+				f.leader = nil
+				f.state = StateCancelled
+				f.errMsg = "cancelled: service shutting down"
+				f.finished = now
+				s.terminal++
+			}
+			return
+		}
+		next := followers[0]
+		next.leader = nil
+		next.followers = followers[1:]
+		for _, f := range next.followers {
+			f.leader = next
+		}
+		s.queue = append(s.queue, next)
+		s.inflight[next.key] = next
+		s.cond.Signal()
+	}
+}
+
+// cancelJob requests cancellation of a job. Queued jobs cancel immediately;
+// running jobs have their context cancelled and settle at the next
+// repetition boundary. Terminal jobs are rejected with errAlreadyTerminal.
+func (s *Service) cancelJob(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, errUnknownJob
+	}
+	switch j.state {
+	case StateQueued:
+		if j.leader != nil {
+			// A coalesced follower detaches from its leader and cancels
+			// alone; the leader keeps running.
+			for i, f := range j.leader.followers {
+				if f == j {
+					j.leader.followers = append(j.leader.followers[:i], j.leader.followers[i+1:]...)
+					break
+				}
+			}
+			j.leader = nil
+		}
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCancelled
+		j.errMsg = "cancelled before start"
+		j.finished = s.clock()
+		s.terminal++
+		s.settleFollowersLocked(j)
+		s.pruneHistoryLocked()
+		return j.view(), nil
+	case StateRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			j.cancel()
+		}
+		return j.view(), nil
+	default:
+		return j.view(), errAlreadyTerminal
+	}
+}
+
+// Service-level sentinel errors, mapped to HTTP statuses by the API layer.
+var (
+	errShutdown        = errors.New("service is shutting down")
+	errQueueFull       = errors.New("job queue is full")
+	errUnknownJob      = errors.New("no such job")
+	errAlreadyTerminal = errors.New("job already finished")
+)
+
+// jobView fetches one job's API view.
+func (s *Service) jobView(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// jobViews lists every job in submission order.
+func (s *Service) jobViews() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Metrics is the document served by GET /metrics.
+type Metrics struct {
+	Jobs struct {
+		Queued    int `json:"queued"`
+		Running   int `json:"running"`
+		Done      int `json:"done"`
+		Failed    int `json:"failed"`
+		Cancelled int `json:"cancelled"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+		// Coalesced counts submissions deduplicated onto an identical
+		// in-flight run (neither a hit nor a miss).
+		Coalesced int64   `json:"coalesced"`
+		HitRate   float64 `json:"hit_rate"`
+		Entries   int     `json:"entries"`
+	} `json:"cache"`
+	Budget struct {
+		Total int `json:"total"`
+		InUse int `json:"in_use"`
+	} `json:"budget"`
+	Throughput struct {
+		// RepsDone counts every reduced repetition, cancelled jobs included.
+		RepsDone int64 `json:"reps_done"`
+		// FinishedReps and BusySeconds aggregate jobs that ran to completion;
+		// RepsPerSecond is their ratio — per-job-second engine throughput.
+		FinishedReps  int64   `json:"finished_reps"`
+		BusySeconds   float64 `json:"busy_seconds"`
+		RepsPerSecond float64 `json:"reps_per_second"`
+	} `json:"throughput"`
+}
+
+// metrics snapshots the service counters.
+func (s *Service) metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m Metrics
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			m.Jobs.Queued++
+		case StateRunning:
+			m.Jobs.Running++
+		case StateDone:
+			m.Jobs.Done++
+		case StateFailed:
+			m.Jobs.Failed++
+		case StateCancelled:
+			m.Jobs.Cancelled++
+		}
+	}
+	m.Cache.Hits = s.hits
+	m.Cache.Misses = s.misses
+	m.Cache.Coalesced = s.coalesced
+	if total := s.hits + s.misses; total > 0 {
+		m.Cache.HitRate = float64(s.hits) / float64(total)
+	}
+	m.Cache.Entries = s.cache.len()
+	m.Budget.Total = s.budget
+	m.Budget.InUse = s.inUse
+	m.Throughput.RepsDone = s.repsDone.Load()
+	m.Throughput.FinishedReps = s.finishedReps
+	m.Throughput.BusySeconds = s.busy.Seconds()
+	if s.busy > 0 {
+		m.Throughput.RepsPerSecond = float64(s.finishedReps) / s.busy.Seconds()
+	}
+	return m
+}

@@ -1,0 +1,46 @@
+package stats
+
+// QuantileEstimateValue is one tracked quantile of a Stream snapshot: the
+// level q and its current P² estimate.
+type QuantileEstimateValue struct {
+	// Q is the quantile level in (0, 1).
+	Q float64 `json:"q"`
+	// Value is the P² estimate for the level.
+	Value float64 `json:"value"`
+}
+
+// StreamSummary is a point-in-time snapshot of a Stream, shaped for
+// serialization: the exact Welford aggregates plus every tracked quantile
+// estimate, in the order the stream tracks them. Marshalling a summary with
+// encoding/json is deterministic — fixed field order, shortest float
+// representation — which is what lets the rumord service cache summary bytes
+// and return byte-identical responses for equal runs.
+type StreamSummary struct {
+	// N is the number of observations.
+	N int `json:"n"`
+	// Mean is the exact running mean.
+	Mean float64 `json:"mean"`
+	// StdDev is the exact sample standard deviation.
+	StdDev float64 `json:"std_dev"`
+	// Min and Max are the exact extremes.
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+	// Quantiles holds the P² estimates for the tracked levels.
+	Quantiles []QuantileEstimateValue `json:"quantiles,omitempty"`
+}
+
+// Summary snapshots the stream. The snapshot shares no state with the
+// stream; adding further observations does not change it.
+func (s *Stream) Summary() StreamSummary {
+	out := StreamSummary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+	}
+	for _, e := range s.quantiles {
+		out.Quantiles = append(out.Quantiles, QuantileEstimateValue{Q: e.p, Value: e.Value()})
+	}
+	return out
+}

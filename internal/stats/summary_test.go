@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestStreamSummary: the snapshot reproduces the stream's accessors, is
+// detached from later observations, and marshals deterministically.
+func TestStreamSummary(t *testing.T) {
+	s := NewStream(0.5, 0.9)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i%97) / 7)
+	}
+	sum := s.Summary()
+	if sum.N != s.N() || sum.Mean != s.Mean() || sum.StdDev != s.StdDev() ||
+		sum.Min != s.Min() || sum.Max != s.Max() {
+		t.Fatalf("summary %+v disagrees with stream accessors", sum)
+	}
+	if len(sum.Quantiles) != 2 || sum.Quantiles[0].Q != 0.5 || sum.Quantiles[1].Q != 0.9 {
+		t.Fatalf("summary quantiles %+v, want levels 0.5 and 0.9", sum.Quantiles)
+	}
+	if sum.Quantiles[0].Value != s.QuantileEstimate(0) || sum.Quantiles[1].Value != s.QuantileEstimate(1) {
+		t.Fatal("summary quantile values disagree with QuantileEstimate")
+	}
+
+	frozen := sum
+	s.Add(1e9)
+	if frozen.Max == s.Max() {
+		t.Fatal("snapshot tracked the live stream")
+	}
+
+	a, err := json.Marshal(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("summary marshalling is not deterministic")
+	}
+}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# service_smoke.sh — the CI end-to-end guard for the rumord service: build
+# and start the daemon, drive it through the example client (submit → poll →
+# summary), and require
+#
+#   1. the summary bytes to match the committed golden file
+#      (scripts/testdata/service_smoke_summary.json) — the engine is
+#      deterministic, so any drift is a real behaviour change;
+#   2. an identical resubmission to be answered from the result cache with
+#      byte-identical output.
+#
+# Regenerate the golden after an intentional engine change:
+#   sh scripts/service_smoke.sh -update
+set -eu
+
+cd "$(dirname "$0")/.."
+GOLDEN=scripts/testdata/service_smoke_summary.json
+ADDR=127.0.0.1:18080
+TMP="$(mktemp -d)"
+PID=
+trap '[ -z "$PID" ] || kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/rumord" ./cmd/rumord
+go build -o "$TMP/client" ./examples/client
+
+"$TMP/rumord" -addr "$ADDR" -budget 4 >"$TMP/rumord.log" 2>&1 &
+PID=$!
+
+# Wait for /healthz (the daemon binds asynchronously).
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "rumord did not become healthy; log:" >&2
+        cat "$TMP/rumord.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+run_sweep() {
+    "$TMP/client" -addr "http://$ADDR" -family clique -sizes 64,128 -reps 8 -seed 1 -raw
+}
+
+run_sweep >"$TMP/first.json"
+run_sweep >"$TMP/second.json"
+
+if ! cmp -s "$TMP/first.json" "$TMP/second.json"; then
+    echo "FAIL: resubmission was not byte-identical to the original run" >&2
+    diff "$TMP/first.json" "$TMP/second.json" >&2 || true
+    exit 1
+fi
+
+# The second sweep must have been served from the cache.
+hits=$(curl -fsS "http://$ADDR/metrics" | sed -n 's/.*"hits":\([0-9]*\).*/\1/p')
+if [ "${hits:-0}" -lt 2 ]; then
+    echo "FAIL: expected >= 2 cache hits after resubmission, got ${hits:-0}" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "-update" ]; then
+    cp "$TMP/first.json" "$GOLDEN"
+    echo "wrote $GOLDEN"
+    exit 0
+fi
+
+if ! cmp -s "$TMP/first.json" "$GOLDEN"; then
+    echo "FAIL: summary differs from committed golden $GOLDEN" >&2
+    diff "$GOLDEN" "$TMP/first.json" >&2 || true
+    exit 1
+fi
+
+echo "service smoke OK: summaries match golden, resubmission cache-hit byte-identical"
