@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke smoke-service serve check clean
+.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke test-equivalence smoke-service serve check clean
 
 # The anchor benchmarks tracked across PRs (see BENCH_*.json and
-# EXPERIMENTS.md): the Monte-Carlo engine fan-out (batch + streaming), the
-# two hot-path anchors of the allocation-free rebuild work, and the
+# EXPERIMENTS.md): the Monte-Carlo engine fan-out (batch + streaming,
+# including both async stream disciplines via BenchmarkMonteCarloStream),
+# the two hot-path anchors of the allocation-free rebuild work, and the
 # frontier-based flooding scan.
 BENCH_ANCHORS := BenchmarkMonteCarlo|BenchmarkGNRhoConstructionN2048|BenchmarkAsyncDynamicStarN5000|BenchmarkRunReduce1e5Reps|BenchmarkFloodingLargeN
 
@@ -55,6 +56,15 @@ bench-json:
 # benchmarks cannot rot even when nobody is looking at their numbers.
 bench-smoke:
 	$(GO) test -run NONE -bench '$(BENCH_ANCHORS)' -benchtime 1x -benchmem .
+
+# test-equivalence is the tier-2 statistical gate: the v1-vs-v2 stream
+# equivalence suite (internal/statcheck, with the sim-level cross-validation)
+# under the race detector, plus the workers-speedup smoke. Slower and
+# wall-clock sensitive, so CI runs it as its own job instead of inside
+# `make check`; the speedup smoke self-skips below 4 CPUs.
+test-equivalence:
+	$(GO) test -race -run 'TestStreamV2EquivalenceSuite|TestCrossValidationV1VsV2' -count=1 -v ./internal/statcheck ./internal/sim
+	$(GO) test -run TestWorkersSpeedupSmoke -count=1 -v .
 
 # serve starts the rumord simulation service on :8080 (see README "Running
 # the service" for the API).

@@ -96,6 +96,38 @@ func BenchmarkMonteCarloWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkMonteCarloStream records both async stream disciplines in the
+// BENCH trajectory: the frozen seed-compatible v1 and the opt-in v2 (alias
+// sampling + batched variates, statistically equivalent — see
+// internal/statcheck). The workload is a clique — the dense regime the v2
+// envelope sampler is built for, where one inform changes every live weight
+// and v1 pays a Fenwick update per change (sparse hub-dominated families
+// stay on v1's Fenwick path even under v2; see the worker-sweep anchor for
+// that regime). 96 repetitions, reported per repetition.
+func BenchmarkMonteCarloStream(b *testing.B) {
+	for _, sv := range []int{rumor.StreamV1, rumor.StreamV2} {
+		for _, p := range []int{1, 8} {
+			b.Run(fmt.Sprintf("stream=v%d/workers=%d", sv, p), func(b *testing.B) {
+				eng := rumor.Engine{Parallelism: p, Seed: 20200424}
+				sc := rumor.Scenario{
+					Network: rumor.NetworkSpec{Family: "clique", Params: rumor.Params{"n": 256}},
+					Stream:  sv,
+				}
+				for i := 0; i < b.N; i++ {
+					st, err := eng.RunStats(sc, monteCarloBenchReps)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Completed != st.Reps {
+						b.Fatal("incomplete repetitions on the clique")
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/monteCarloBenchReps, "ns/rep")
+			})
+		}
+	}
+}
+
 // BenchmarkRunReduce1e5Reps is the streaming-reduction anchor: 10⁵
 // repetitions of a small async scenario aggregated in O(1) memory. Watch
 // B/op — it is the whole batch's allocation footprint and must not scale

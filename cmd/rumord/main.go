@@ -53,16 +53,24 @@ func run(args []string) error {
 	cacheLimit := fs.Int("cache", 1024, "maximum cached run summaries")
 	maxReps := fs.Int("max-reps", 10_000_000, "maximum repetitions a single job may request")
 	historyLimit := fs.Int("history", 4096, "finished job records retained (oldest forgotten first)")
+	streamDefault := fs.Int("stream-default", 0,
+		"async stream discipline for scenarios that don't pin one: 0 leaves scenarios untouched, 1 pins the frozen v1, 2 the faster statistically-equivalent v2")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch *streamDefault {
+	case 0, 1, 2:
+	default:
+		return fmt.Errorf("-stream-default must be 0, 1 or 2, got %d", *streamDefault)
+	}
 
 	svc := service.New(service.Config{
-		Budget:       *budget,
-		QueueLimit:   *queueLimit,
-		CacheLimit:   *cacheLimit,
-		MaxReps:      *maxReps,
-		HistoryLimit: *historyLimit,
+		Budget:        *budget,
+		QueueLimit:    *queueLimit,
+		CacheLimit:    *cacheLimit,
+		MaxReps:       *maxReps,
+		HistoryLimit:  *historyLimit,
+		DefaultStream: *streamDefault,
 	})
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

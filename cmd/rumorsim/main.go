@@ -40,6 +40,8 @@ type options struct {
 	q        float64
 	reps     int
 	parallel int
+	chunk    int
+	stream   int
 	seed     uint64
 	trace    bool
 }
@@ -61,6 +63,8 @@ func run(args []string) error {
 	fs.Float64Var(&opts.q, "q", 0.5, "edge death probability (edge-markovian)")
 	fs.IntVar(&opts.reps, "reps", 10, "number of repetitions")
 	fs.IntVar(&opts.parallel, "parallel", 0, "worker goroutines for the repetitions (0 means GOMAXPROCS; results are identical for any value)")
+	fs.IntVar(&opts.chunk, "chunk", 0, "repetitions claimed per worker lock acquisition (0 means automatic; results are identical for any value)")
+	fs.IntVar(&opts.stream, "stream", 0, "async stream discipline: 1 is the frozen seed-compatible v1 (default), 2 the faster statistically-equivalent v2")
 	fs.Uint64Var(&opts.seed, "seed", 1, "random seed")
 	fs.BoolVar(&opts.trace, "trace", false, "print the informed-count trace of the first run")
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +83,14 @@ func run(args []string) error {
 		}
 		if sc.Trace {
 			opts.trace = true
+		}
+		// -stream overrides the scenario file's discipline, like -reps and
+		// -parallel override execution knobs; 0 means "whatever the file says".
+		if opts.stream != 0 {
+			sc.Stream = opts.stream
+			if err := sc.Validate(); err != nil {
+				return err
+			}
 		}
 	} else {
 		if opts.n < 2 {
@@ -117,6 +129,7 @@ func buildScenario(opts options) (rumor.Scenario, error) {
 	sc := rumor.Scenario{
 		Network: rumor.NetworkSpec{Family: opts.family, Params: params},
 		Trace:   opts.trace,
+		Stream:  opts.stream,
 	}
 	switch opts.algo {
 	case "async":
@@ -138,7 +151,7 @@ func buildScenario(opts options) (rumor.Scenario, error) {
 }
 
 func simulate(sc rumor.Scenario, opts options, out *os.File) error {
-	eng := rumor.Engine{Parallelism: opts.parallel, Seed: opts.seed}
+	eng := rumor.Engine{Parallelism: opts.parallel, ChunkSize: opts.chunk, Seed: opts.seed}
 	// The batch streams through Engine.RunReduce without trace recording:
 	// the CLI only reports summary statistics, so no repetition's result —
 	// let alone a TracePoint per informed vertex — needs to outlive its

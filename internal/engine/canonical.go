@@ -23,6 +23,10 @@ import (
 //   - Mode push-pull — the default — is dropped; push and pull are kept.
 //   - ClockRate 1 is dropped (the simulators treat 0 and 1 identically).
 //   - MaxTime/MaxRounds/Trace zero values are dropped.
+//   - Stream 1 is dropped (0 and 1 both select the v1 discipline), so every
+//     v1 scenario keeps the byte encoding it had before stream versions
+//     existed; stream 2 is kept — v2 ensembles are statistically, not
+//     byte-wise, equivalent, so they must not share a cache entry with v1.
 //
 // Params are canonicalized only at the spelling level (key order, float
 // formatting); a family parameter explicitly set to its documented default
@@ -41,7 +45,7 @@ func Canonical(sc Scenario) ([]byte, error) {
 	}
 	form := canonicalForm{
 		Network:   canonicalNetwork{Family: sc.Network.Family, Params: sc.Network.Params},
-		Protocol:  sc.Protocol.normalize(),
+		Protocol:  sc.Protocol.Normalize(),
 		Start:     sc.Start,
 		ClockRate: sc.ClockRate,
 		MaxTime:   sc.MaxTime,
@@ -53,6 +57,9 @@ func Canonical(sc Scenario) ([]byte, error) {
 	}
 	if form.ClockRate == 1 {
 		form.ClockRate = 0
+	}
+	if sc.Stream >= sim.StreamV2 {
+		form.Stream = sc.Stream
 	}
 	data, err := json.Marshal(form)
 	if err != nil {
@@ -89,6 +96,7 @@ type canonicalForm struct {
 	MaxTime   float64          `json:"max_time,omitempty"`
 	MaxRounds int              `json:"max_rounds,omitempty"`
 	Trace     bool             `json:"trace,omitempty"`
+	Stream    int              `json:"stream,omitempty"`
 }
 
 // canonicalNetwork is NetworkSpec without the (unserializable) custom

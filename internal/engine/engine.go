@@ -25,6 +25,11 @@ type Engine struct {
 	// Seed derives every repetition's private RNG stream. Equal seeds give
 	// bit-identical ensembles.
 	Seed uint64
+	// ChunkSize is the number of consecutive repetitions a worker claims per
+	// synchronization round (0 or negative selects an automatic size, see
+	// runner.ChunkFor). Like Parallelism it is a pure throughput knob: results
+	// are bit-identical for every value.
+	ChunkSize int
 }
 
 // Run executes a scenario once and returns its result. It is equivalent to
@@ -77,7 +82,7 @@ func (e Engine) RunBatchFrom(ctx context.Context, sc Scenario, reps int, base *x
 	if reps < 1 {
 		return nil, fmt.Errorf("engine: reps must be >= 1, got %d", reps)
 	}
-	results, err := runner.MapLocal(ctx, e.Parallelism, reps, base, newWorkerState,
+	results, err := runner.MapLocalOpts(ctx, runner.Options{Parallelism: e.Parallelism, ChunkSize: e.ChunkSize}, reps, base, newWorkerState,
 		func(rep int, sub *xrand.RNG, ws *workerState) (*sim.Result, error) {
 			// Results are retained by the ensemble, so this path hands the
 			// simulator a nil result and lets it allocate a fresh one.
@@ -130,12 +135,23 @@ func (e Engine) RunReduceFrom(ctx context.Context, sc Scenario, reps int, base *
 	if reps < 1 {
 		return fmt.Errorf("engine: reps must be >= 1, got %d", reps)
 	}
-	return runner.MapReduce(ctx, e.Parallelism, reps, base, newWorkerState,
+	// Workers claim and compute whole chunks before any of a chunk is reduced,
+	// so each worker needs one distinct result slot per repetition of a chunk:
+	// a ring of ChunkFor slots, advanced round-robin, is exactly that (a chunk
+	// is fully reduced before its worker claims the next one, so a slot is
+	// never overwritten while the reducer can still see it).
+	ringSize := runner.ChunkFor(e.ChunkSize, reps, e.Parallelism)
+	return runner.MapReduceOpts(ctx, runner.Options{Parallelism: e.Parallelism, ChunkSize: e.ChunkSize}, reps, base, newWorkerState,
 		func(rep int, sub *xrand.RNG, ws *workerState) (*sim.Result, error) {
-			// The worker's one recycled result is safe here: MapReduce
-			// guarantees it is reduced before the worker starts its next
-			// repetition.
-			return cs.runRep(sub, ws, &ws.res)
+			if ws.resRing == nil {
+				ws.resRing = make([]sim.Result, ringSize)
+			}
+			res := &ws.resRing[ws.resCur]
+			ws.resCur++
+			if ws.resCur == len(ws.resRing) {
+				ws.resCur = 0
+			}
+			return cs.runRep(sub, ws, res)
 		},
 		runner.Reducer[*sim.Result](reduce))
 }
@@ -209,8 +225,12 @@ func compileScenario(sc Scenario) (*compiledScenario, error) {
 // whichever strategy the compiled scenario selected. None of it influences
 // results — it is storage reuse, not input.
 type workerState struct {
-	scratch  *sim.Scratch
-	res      sim.Result
+	scratch *sim.Scratch
+	// resRing holds the reduce path's recycled results — one slot per
+	// repetition of a claim chunk, allocated lazily on the worker's first
+	// repetition and advanced round-robin by resCur.
+	resRing  []sim.Result
+	resCur   int
 	netRNG   xrand.RNG
 	protoRNG xrand.RNG
 

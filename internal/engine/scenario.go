@@ -33,8 +33,8 @@ const (
 	ProtocolFlooding ProtocolKind = "flooding"
 )
 
-// normalize maps the empty kind to the default ProtocolAsync.
-func (k ProtocolKind) normalize() ProtocolKind {
+// Normalize maps the empty kind to the default ProtocolAsync.
+func (k ProtocolKind) Normalize() ProtocolKind {
 	if k == "" {
 		return ProtocolAsync
 	}
@@ -43,7 +43,7 @@ func (k ProtocolKind) normalize() ProtocolKind {
 
 // valid reports whether the kind (after normalization) is known.
 func (k ProtocolKind) valid() bool {
-	switch k.normalize() {
+	switch k.Normalize() {
 	case ProtocolAsync, ProtocolSync, ProtocolFlooding:
 		return true
 	default:
@@ -78,6 +78,12 @@ type Scenario struct {
 	// Trace records a TracePoint per newly informed vertex, enabling
 	// Ensemble.SpreadCurve and the time-to-fraction aggregations.
 	Trace bool `json:"trace,omitempty"`
+	// Stream selects the async sampling discipline: 0 or 1 is the frozen
+	// seed-compatible v1 stream (the default — byte-identical outputs across
+	// releases), 2 is the faster opt-in v2 discipline, statistically
+	// equivalent but not byte-identical (see sim.StreamV2 and
+	// internal/statcheck). Only the async protocol has stream versions.
+	Stream int `json:"stream,omitempty"`
 }
 
 // Validate checks that the scenario is executable: a known protocol kind, a
@@ -103,9 +109,14 @@ func (s Scenario) Validate() error {
 	if s.MaxRounds < 0 {
 		return fmt.Errorf("engine: max rounds %d is negative", s.MaxRounds)
 	}
+	switch s.Stream {
+	case 0, sim.StreamV1, sim.StreamV2:
+	default:
+		return fmt.Errorf("engine: unknown stream version %d (want 1 or 2)", s.Stream)
+	}
 	// Reject options the selected protocol would silently ignore — the same
 	// fail-loudly stance the codec takes on unknown fields.
-	switch kind := s.Protocol.normalize(); kind {
+	switch kind := s.Protocol.Normalize(); kind {
 	case ProtocolAsync:
 		if s.MaxRounds != 0 {
 			return fmt.Errorf("engine: max_rounds applies to sync and flooding, not %s (use max_time)", kind)
@@ -117,6 +128,9 @@ func (s Scenario) Validate() error {
 		if s.ClockRate != 0 {
 			return fmt.Errorf("engine: clock_rate applies to async, not %s", kind)
 		}
+		if s.Stream != 0 {
+			return fmt.Errorf("engine: stream applies to async, not %s", kind)
+		}
 		if kind == ProtocolFlooding && s.Mode != 0 {
 			return fmt.Errorf("engine: mode applies to push-pull protocols, not flooding")
 		}
@@ -127,7 +141,7 @@ func (s Scenario) Validate() error {
 // protocolFor assembles the sim.Protocol this scenario describes, with the
 // concrete start vertex filled in.
 func (s Scenario) protocolFor(start int) sim.Protocol {
-	switch s.Protocol.normalize() {
+	switch s.Protocol.Normalize() {
 	case ProtocolSync:
 		return sim.SyncProtocol{Opts: sim.SyncOptions{
 			Start:       start,
@@ -143,11 +157,12 @@ func (s Scenario) protocolFor(start int) sim.Protocol {
 		}}
 	default:
 		return sim.AsyncProtocol{Opts: sim.AsyncOptions{
-			Start:       start,
-			Mode:        s.Mode,
-			ClockRate:   s.ClockRate,
-			MaxTime:     s.MaxTime,
-			RecordTrace: s.Trace,
+			Start:         start,
+			Mode:          s.Mode,
+			ClockRate:     s.ClockRate,
+			MaxTime:       s.MaxTime,
+			RecordTrace:   s.Trace,
+			StreamVersion: s.Stream,
 		}}
 	}
 }

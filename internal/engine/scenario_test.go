@@ -12,7 +12,7 @@ func TestParseMinimalScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sc.Protocol.normalize() != ProtocolAsync {
+	if sc.Protocol.Normalize() != ProtocolAsync {
 		t.Fatalf("default protocol = %q, want async", sc.Protocol)
 	}
 	if sc.Mode != 0 || sc.Start != nil || sc.Trace {

@@ -14,6 +14,13 @@
 // Streams would have pre-derived, but without materializing O(reps) RNGs.
 // Workers receive their stream in a per-worker reusable RNG value, so the
 // fan-out itself allocates nothing per repetition.
+//
+// Claims are batched: a worker claims a chunk of consecutive repetitions per
+// lock acquisition (Options.ChunkSize, automatic by default) and, on the
+// reduce path, hands the whole chunk to the reducer in one condvar turn.
+// Chunking never changes outputs — the claimed set is still a sequential
+// prefix and streams are still derived in repetition order — it only divides
+// the per-repetition synchronization cost by the chunk size.
 package runner
 
 import (
@@ -39,6 +46,57 @@ func Parallelism(p int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return p
+}
+
+// Options bundles the runner's execution-policy knobs. The zero value selects
+// GOMAXPROCS workers and an automatic chunk size; neither knob ever changes
+// outputs — both are pure throughput controls.
+type Options struct {
+	// Parallelism is the worker goroutine count (<= 0 means GOMAXPROCS).
+	Parallelism int
+	// ChunkSize is the number of consecutive repetitions a worker claims per
+	// lock acquisition and reduces per condvar turn (<= 0 selects an automatic
+	// size, see ChunkFor). Larger chunks amortize synchronization; smaller
+	// chunks balance load. ChunkSize 1 reproduces the historical per-repetition
+	// claiming exactly.
+	ChunkSize int
+}
+
+// maxAutoChunk caps the automatic chunk size: past this point the remaining
+// synchronization cost is negligible and bigger chunks only hurt load balance
+// and (on the reduce path) per-worker value buffering.
+const maxAutoChunk = 64
+
+// ChunkFor returns the effective chunk size for a run: chunkSize when
+// positive, otherwise an automatic size that gives every worker several
+// claims for load balance (reps / (2·workers), clamped to [1, 64]; serial
+// runs always claim one repetition at a time). Callers that buffer one value
+// slot per in-flight repetition (see Reducer) size their buffers with it.
+func ChunkFor(chunkSize, reps, parallelism int) int {
+	workers := Parallelism(parallelism)
+	if workers > reps {
+		workers = reps
+	}
+	return effectiveChunk(chunkSize, reps, workers)
+}
+
+func effectiveChunk(chunkSize, reps, workers int) int {
+	if chunkSize > 0 {
+		return chunkSize
+	}
+	if workers <= 1 {
+		// The serial loops claim per repetition: the lock is uncontended and
+		// per-rep claiming keeps cancellation at its historical granularity.
+		return 1
+	}
+	c := reps / (2 * workers)
+	if c < 1 {
+		c = 1
+	}
+	if c > maxAutoChunk {
+		c = maxAutoChunk
+	}
+	return c
 }
 
 // RepError reports the failure of a single repetition, identifying which one
@@ -105,6 +163,39 @@ func (s *streamSource) claim(dst *xrand.RNG) (rep int, ok bool) {
 	s.base.SplitInto(uint64(rep)+1, dst)
 	s.mu.Unlock()
 	return rep, true
+}
+
+// claimChunk derives up to len(dst) consecutive repetition streams into dst
+// and returns the first claimed index plus the claimed count (count == 0 when
+// the repetitions are exhausted, the run was aborted, or the context was
+// cancelled). The streams are derived in repetition order under the same lock
+// as claim, so chunked and per-repetition claiming produce the identical
+// stream-to-repetition mapping — a chunk is just several claims for one lock
+// acquisition. Like claim, cancellation is observed only here, so a claimed
+// chunk always runs to completion and (on the reduce path) always takes its
+// full reduction turn.
+func (s *streamSource) claimChunk(dst []xrand.RNG) (start, count int) {
+	s.mu.Lock()
+	if s.aborted || s.next >= s.reps {
+		s.mu.Unlock()
+		return 0, 0
+	}
+	if s.ctx.Err() != nil {
+		s.aborted = true
+		s.mu.Unlock()
+		return 0, 0
+	}
+	start = s.next
+	count = len(dst)
+	if rem := s.reps - s.next; count > rem {
+		count = rem
+	}
+	for j := 0; j < count; j++ {
+		s.base.SplitInto(uint64(start+j)+1, &dst[j])
+	}
+	s.next += count
+	s.mu.Unlock()
+	return start, count
 }
 
 // incomplete reports whether any repetition was never handed out. Read it
@@ -179,13 +270,20 @@ func Map[T any](ctx context.Context, parallelism, reps int, base *xrand.RNG, fn 
 // repetitions — the determinism contract is unchanged because the local
 // state carries no randomness and no results.
 func MapLocal[T, L any](ctx context.Context, parallelism, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L]) ([]T, error) {
+	return MapLocalOpts(ctx, Options{Parallelism: parallelism}, reps, base, newLocal, fn)
+}
+
+// MapLocalOpts is MapLocal with full Options control, including the claim
+// chunk size. Chunking changes only how often workers touch the claim lock;
+// outputs and error selection are identical for every chunk size.
+func MapLocalOpts[T, L any](ctx context.Context, opts Options, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L]) ([]T, error) {
 	if reps <= 0 {
 		return nil, nil
 	}
 	out := make([]T, reps)
 	src := &streamSource{ctx: ctx, base: base, reps: reps}
 
-	workers := Parallelism(parallelism)
+	workers := Parallelism(opts.Parallelism)
 	if workers > reps {
 		workers = reps
 	}
@@ -210,6 +308,7 @@ func MapLocal[T, L any](ctx context.Context, parallelism, reps int, base *xrand.
 		return out, nil
 	}
 
+	chunk := effectiveChunk(opts.ChunkSize, reps, workers)
 	errs := make([]error, reps)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -217,18 +316,21 @@ func MapLocal[T, L any](ctx context.Context, parallelism, reps int, base *xrand.
 		go func() {
 			defer wg.Done()
 			local := newLocal()
-			var rng xrand.RNG
+			rngs := make([]xrand.RNG, chunk)
 			for {
-				i, ok := src.claim(&rng)
-				if !ok {
+				start, count := src.claimChunk(rngs)
+				if count == 0 {
 					return
 				}
-				v, err := fn(i, &rng, local)
-				if err != nil {
-					errs[i] = err
-					continue
+				for j := 0; j < count; j++ {
+					i := start + j
+					v, err := fn(i, &rngs[j], local)
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+					out[i] = v
 				}
-				out[i] = v
 			}
 		}()
 	}
@@ -251,8 +353,11 @@ func MapLocal[T, L any](ctx context.Context, parallelism, reps int, base *xrand.
 // repetition order (rep 0, 1, 2, ...), exactly once per repetition, and never
 // concurrently, so a reducer needs no locking and may fold values into plain
 // accumulators. The value (and anything it points to) is only guaranteed
-// valid for the duration of the call: workers recycle their result storage
-// for the next repetition as soon as the reducer returns.
+// valid for the duration of the call: workers recycle their result storage as
+// soon as their chunk has been reduced. A job that hands out pointers to
+// worker-local storage must therefore keep one distinct value slot per
+// repetition of a chunk — ChunkFor reports how many that is — because a
+// worker computes its whole chunk before any of it is reduced.
 type Reducer[T any] func(rep int, v T) error
 
 // MapReduce runs fn for every repetition like MapLocal but streams the
@@ -262,33 +367,45 @@ type Reducer[T any] func(rep int, v T) error
 // point.
 //
 // Ordering: workers simulate concurrently, but each takes a turn — in
-// repetition order — to hand its value to reduce. A worker computes its next
-// repetition only after its previous value has been reduced, which is what
-// makes recycled result storage safe and bounds in-flight values by the
-// worker count.
+// repetition order — to hand its claimed chunk to reduce. Within a turn the
+// chunk's values are reduced in repetition order, so the reducer still sees
+// exactly the sequence rep 0, 1, 2, ... A worker claims its next chunk only
+// after its previous chunk has been reduced, which is what makes recycled
+// result storage safe and bounds in-flight values by workers × chunk size.
 //
 // Errors: the first failure in repetition order (from the job or the
 // reducer) aborts the run — no later repetition is reduced, workers stop
 // claiming new repetitions, and the failure is returned wrapped in a
 // *RepError (reducer errors are returned unwrapped). Which error is returned
-// is deterministic: every earlier repetition succeeded and was reduced.
+// is deterministic regardless of chunking: turns execute in repetition order,
+// a worker stops computing its chunk at its first failure, and every
+// repetition before the failure was reduced.
 //
-// Cancelling ctx stops the run at the next repetition boundary and returns
+// Cancelling ctx stops the run at the next chunk boundary and returns
 // ctx.Err() once every in-flight repetition has been reduced. Cancellation
-// can never deadlock the turn-taking: it is observed only in claim, before a
-// repetition exists, so every claimed repetition runs to completion and takes
-// its reduction turn — the claimed set is a prefix [0, k), each of its
-// members advances the turn exactly once, and the turn therefore reaches k
-// and releases every waiting worker. A worker must not bail out between
-// claim and takeTurn for exactly this reason: an abandoned claimed
-// repetition would strand every later repetition's worker in cond.Wait.
+// can never deadlock the turn-taking: it is observed only in claimChunk,
+// before a repetition exists, so every claimed chunk runs to completion and
+// takes its full reduction turn — the claimed set is a prefix [0, k), each
+// claimed chunk advances the turn by exactly its claimed count, and the turn
+// therefore reaches k and releases every waiting worker. A worker must not
+// bail out between claimChunk and takeTurn for exactly this reason: an
+// abandoned claimed chunk would strand every later chunk's worker in
+// cond.Wait.
 func MapReduce[T, L any](ctx context.Context, parallelism, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
+	return MapReduceOpts(ctx, Options{Parallelism: parallelism}, reps, base, newLocal, fn, reduce)
+}
+
+// MapReduceOpts is MapReduce with full Options control, including the claim
+// chunk size. Chunk size 1 reproduces per-repetition claiming and turn-taking
+// exactly; larger chunks amortize both the claim lock and the condvar
+// handoff without changing what the reducer observes.
+func MapReduceOpts[T, L any](ctx context.Context, opts Options, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
 	if reps <= 0 {
 		return nil
 	}
 	src := &streamSource{ctx: ctx, base: base, reps: reps}
 
-	workers := Parallelism(parallelism)
+	workers := Parallelism(opts.Parallelism)
 	if workers > reps {
 		workers = reps
 	}
@@ -312,30 +429,44 @@ func MapReduce[T, L any](ctx context.Context, parallelism, reps int, base *xrand
 		}
 	}
 
-	// turn serializes the reducer: a worker holding repetition i waits until
-	// every repetition < i has been reduced, reduces, then advances the turn.
+	chunk := effectiveChunk(opts.ChunkSize, reps, workers)
+
+	// turn serializes the reducer: a worker holding the chunk starting at
+	// repetition i waits until every repetition < i has been reduced, reduces
+	// its whole chunk, then advances the turn by the chunk's claimed count.
 	var (
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
 		turn     int
 		firstErr error
 	)
-	takeTurn := func(rep int, v T, jobErr error) {
+	// takeTurn reduces one claimed chunk [start, start+count): vals[0..n) are
+	// the values of the chunk's first n repetitions and jobErr, when non-nil,
+	// is the failure of repetition start+n (the worker stops computing a chunk
+	// at its first failure, so nothing after it exists). The turn advances by
+	// the full claimed count even when the chunk failed or was skipped after
+	// an abort — every claimed repetition must advance the turn exactly once
+	// or later chunks would wait forever.
+	takeTurn := func(start, count int, vals []T, n int, jobErr error) {
 		mu.Lock()
-		for turn != rep {
+		for turn != start {
 			cond.Wait()
 		}
 		if firstErr == nil {
-			if jobErr != nil {
-				firstErr = &RepError{Rep: rep, Err: jobErr}
-			} else if err := reduce(rep, v); err != nil {
-				firstErr = err
+			for j := 0; j < n; j++ {
+				if err := reduce(start+j, vals[j]); err != nil {
+					firstErr = err
+					break
+				}
+			}
+			if firstErr == nil && jobErr != nil {
+				firstErr = &RepError{Rep: start + n, Err: jobErr}
 			}
 			if firstErr != nil {
 				src.abort()
 			}
 		}
-		turn++
+		turn += count
 		cond.Broadcast()
 		mu.Unlock()
 	}
@@ -346,14 +477,24 @@ func MapReduce[T, L any](ctx context.Context, parallelism, reps int, base *xrand
 		go func() {
 			defer wg.Done()
 			local := newLocal()
-			var rng xrand.RNG
+			rngs := make([]xrand.RNG, chunk)
+			vals := make([]T, chunk)
 			for {
-				i, ok := src.claim(&rng)
-				if !ok {
+				start, count := src.claimChunk(rngs)
+				if count == 0 {
 					return
 				}
-				v, err := fn(i, &rng, local)
-				takeTurn(i, v, err)
+				n := 0
+				var jobErr error
+				for ; n < count; n++ {
+					v, err := fn(start+n, &rngs[n], local)
+					if err != nil {
+						jobErr = err
+						break
+					}
+					vals[n] = v
+				}
+				takeTurn(start, count, vals, n, jobErr)
 			}
 		}()
 	}

@@ -103,6 +103,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The service never records traces; strip the flag so the canonical
 	// encoding — and therefore the cache key — ignores it.
 	sc.Trace = false
+	// Apply the configured default stream discipline to async scenarios that
+	// do not pin one, before canonicalization: the cache key must reflect
+	// the discipline that actually runs, and scenarios pinning an explicit
+	// version keep it.
+	if s.defaultStream != 0 && sc.Stream == 0 && sc.Protocol.Normalize() == engine.ProtocolAsync {
+		sc.Stream = s.defaultStream
+	}
 	canonical, err := engine.Canonical(sc)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -30,6 +30,14 @@ type Config struct {
 	CacheLimit int
 	// MaxReps bounds a single job's repetition count (<= 0 selects 10⁷).
 	MaxReps int
+	// DefaultStream, when non-zero, is the async stream discipline applied to
+	// submitted scenarios that do not pin one (sim.StreamV1 or sim.StreamV2;
+	// other values panic in New). It is applied before canonicalization, so
+	// the cache key always reflects the discipline that actually runs — a v2
+	// default never serves results from v1 cache entries. Scenarios that
+	// spell an explicit stream version, and non-async scenarios, are left
+	// untouched.
+	DefaultStream int
 	// HistoryLimit bounds the retained terminal job records (<= 0 selects
 	// 4096): beyond it the oldest finished jobs are forgotten, so a
 	// long-lived daemon's memory does not grow with lifetime submissions.
@@ -43,11 +51,12 @@ type Config struct {
 // Service schedules ensemble runs onto the batch engine and caches their
 // results. Create one with New, expose it with Handler, stop it with Close.
 type Service struct {
-	budget       int
-	queueLimit   int
-	maxReps      int
-	historyLimit int
-	clock        func() time.Time
+	budget        int
+	queueLimit    int
+	maxReps       int
+	historyLimit  int
+	defaultStream int
+	clock         func() time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -80,12 +89,18 @@ type Service struct {
 
 // New starts a service (its dispatcher goroutine runs until Close).
 func New(cfg Config) *Service {
+	switch cfg.DefaultStream {
+	case 0, sim.StreamV1, sim.StreamV2:
+	default:
+		panic(fmt.Sprintf("service: invalid DefaultStream %d (want 0, 1 or 2)", cfg.DefaultStream))
+	}
 	s := &Service{
-		budget:       runner.Parallelism(cfg.Budget),
-		queueLimit:   cfg.QueueLimit,
-		maxReps:      cfg.MaxReps,
-		historyLimit: cfg.HistoryLimit,
-		clock:        cfg.Clock,
+		budget:        runner.Parallelism(cfg.Budget),
+		queueLimit:    cfg.QueueLimit,
+		maxReps:       cfg.MaxReps,
+		historyLimit:  cfg.HistoryLimit,
+		defaultStream: cfg.DefaultStream,
+		clock:         cfg.Clock,
 	}
 	if s.queueLimit <= 0 {
 		s.queueLimit = 256

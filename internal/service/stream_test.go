@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// streamSubmit renders a submission of a small clique scenario, with or
+// without an explicit stream version.
+func streamSubmit(stream int) string {
+	scenario := `{"network":{"family":"clique","params":{"n":16}}`
+	if stream != 0 {
+		scenario += fmt.Sprintf(`,"stream":%d`, stream)
+	}
+	scenario += `}`
+	return fmt.Sprintf(`{"scenario":%s,"reps":8,"seed":3}`, scenario)
+}
+
+// submitKey submits and returns the job's cache key, waiting for completion
+// so follow-up submissions hit the result cache rather than coalescing.
+func submitKey(t *testing.T, url, body string) string {
+	t.Helper()
+	status, resp := do(t, http.MethodPost, url+"/v1/runs", body)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("submit returned %d: %s", status, resp)
+	}
+	view := decodeJob(t, resp)
+	waitState(t, url, view.ID, StateDone)
+	return view.Key
+}
+
+// TestDefaultStreamRewritesCacheKey pins the DefaultStream contract: on a
+// v2-default service an unpinned scenario runs — and is cached — as stream 2,
+// while an explicit version always wins over the default.
+func TestDefaultStreamRewritesCacheKey(t *testing.T) {
+	_, v2Server := newTestServer(t, Config{Budget: 2, DefaultStream: 2})
+	unpinned := submitKey(t, v2Server.URL, streamSubmit(0))
+	pinnedV2 := submitKey(t, v2Server.URL, streamSubmit(2))
+	pinnedV1 := submitKey(t, v2Server.URL, streamSubmit(1))
+	if unpinned != pinnedV2 {
+		t.Fatalf("unpinned scenario did not adopt the v2 default: key %s vs explicit v2 key %s", unpinned, pinnedV2)
+	}
+	if unpinned == pinnedV1 {
+		t.Fatalf("explicit stream 1 shares the v2 default's cache key %s", unpinned)
+	}
+
+	// Without a default, unpinned and explicit-v1 submissions share the
+	// legacy v1 key — upgrading the daemon must not orphan old cache entries.
+	_, v1Server := newTestServer(t, Config{Budget: 2})
+	legacy := submitKey(t, v1Server.URL, streamSubmit(0))
+	explicitV1 := submitKey(t, v1Server.URL, streamSubmit(1))
+	if legacy != explicitV1 {
+		t.Fatalf("explicit stream 1 changed the cache key: %s vs %s", explicitV1, legacy)
+	}
+	if legacy != pinnedV1 {
+		t.Fatalf("v1 key differs across service configurations: %s vs %s", legacy, pinnedV1)
+	}
+}
+
+// TestDefaultStreamOnlyTouchesAsync: sync scenarios have no stream versions;
+// a v2-default service must leave them alone instead of failing validation.
+func TestDefaultStreamOnlyTouchesAsync(t *testing.T) {
+	_, ts := newTestServer(t, Config{Budget: 2, DefaultStream: 2})
+	body := `{"scenario":{"network":{"family":"clique","params":{"n":16}},"protocol":"sync"},"reps":4,"seed":1}`
+	status, resp := do(t, http.MethodPost, ts.URL+"/v1/runs", body)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("sync submission on a v2-default service returned %d: %s", status, resp)
+	}
+	view := decodeJob(t, resp)
+	waitState(t, ts.URL, view.ID, StateDone)
+}
+
+func TestInvalidDefaultStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted DefaultStream 7")
+		}
+	}()
+	New(Config{DefaultStream: 7})
+}

@@ -1,0 +1,130 @@
+package sim
+
+import "dynamicrumor/internal/xrand"
+
+// aliasTable is a Walker/Vose alias table over non-negative weights: O(n)
+// build, O(1) weighted sampling (one Intn plus one Float64 per draw). Unlike
+// the Fenwick tree it cannot be updated incrementally, so the v2 stream
+// discipline uses it as a frozen snapshot inside a rejection envelope and
+// rebuilds it wholesale when the live weights drift too far (see
+// asyncStateV2). Zero-weight indices are never returned: every cell's
+// acceptance threshold is exactly 0 when its weight is 0, and its alias
+// always points at a positively weighted index.
+type aliasTable struct {
+	prob   []float64 // acceptance threshold per cell, in [0, 1]
+	alias  []int32   // fallback index per cell
+	weight []float64 // the snapshot weights the table was built from
+	total  float64
+	// small and large are the build's worklists, retained across rebuilds so
+	// a steady-state rebuild allocates nothing.
+	small, large []int32
+}
+
+// build constructs the table from the given weights (negative weights are
+// treated as 0), reusing every backing array. It is O(len(weights)).
+func (a *aliasTable) build(weights []float64) {
+	n := len(weights)
+	a.prob = growFloats(a.prob, n)
+	a.weight = growFloats(a.weight, n)
+	a.alias = growInt32s(a.alias, n)
+	a.small = a.small[:0]
+	a.large = a.large[:0]
+	a.total = 0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		a.weight[i] = w
+		a.total += w
+	}
+	if a.total <= 0 || n == 0 {
+		a.total = 0
+		for i := range a.prob {
+			a.prob[i] = 0
+			a.alias[i] = 0
+		}
+		return
+	}
+	// Vose's method: scale every weight to mean 1, then pair each deficient
+	// ("small") cell with a surplus ("large") cell so each cell holds at most
+	// two indices. prob is reused as the scaled-weight scratch during the
+	// build; each cell's final threshold is written exactly once, when the
+	// cell is popped from a worklist.
+	scale := float64(n) / a.total
+	fallback := int32(-1) // any positively weighted index
+	for i, w := range a.weight {
+		a.prob[i] = w * scale
+		if a.prob[i] < 1 {
+			a.small = append(a.small, int32(i))
+		} else {
+			a.large = append(a.large, int32(i))
+			fallback = int32(i)
+		}
+	}
+	for len(a.small) > 0 && len(a.large) > 0 {
+		s := a.small[len(a.small)-1]
+		a.small = a.small[:len(a.small)-1]
+		l := a.large[len(a.large)-1]
+		a.alias[s] = l
+		// a.prob[s] is already its final threshold. The large cell absorbs the
+		// small cell's deficit.
+		a.prob[l] -= 1 - a.prob[s]
+		if a.prob[l] < 1 {
+			a.large = a.large[:len(a.large)-1]
+			a.small = append(a.small, l)
+		}
+	}
+	// Leftovers are a rounding artifact: their scaled weight is 1 up to
+	// floating-point error. Positively weighted leftovers accept
+	// unconditionally; a zero-weight leftover (possible only through rounding
+	// exhausting the large list early) must keep threshold 0 and a positive
+	// alias so the support stays exact.
+	for _, ls := range [][]int32{a.large, a.small} {
+		for _, i := range ls {
+			if a.weight[i] > 0 {
+				a.prob[i] = 1
+				a.alias[i] = i
+				fallback = i
+			}
+		}
+	}
+	for _, ls := range [][]int32{a.large, a.small} {
+		for _, i := range ls {
+			if a.weight[i] <= 0 {
+				a.prob[i] = 0
+				a.alias[i] = fallback
+			}
+		}
+	}
+	a.small = a.small[:0]
+	a.large = a.large[:0]
+}
+
+// sample draws an index proportionally to the build weights, consuming one
+// Intn draw and one Float64 draw. It returns -1 when every weight is zero.
+func (a *aliasTable) sample(rng *xrand.RNG) int {
+	if a.total <= 0 {
+		return -1
+	}
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// growFloats returns a slice of length n reusing s's backing array when
+// possible, mirroring growBools/growInts in scratch.go.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dynamicrumor/internal/xrand"
+)
+
+// aliasCellProbability returns the exact probability the table assigns to
+// index i: a uniform cell choice lands on i directly with prob[i], and on i
+// via the alias of any cell that rejects into it.
+func aliasCellProbability(a *aliasTable, i int) float64 {
+	n := float64(len(a.prob))
+	p := a.prob[i] / n
+	for j := range a.prob {
+		if int(a.alias[j]) == i && a.prob[j] < 1 {
+			p += (1 - a.prob[j]) / n
+		}
+	}
+	return p
+}
+
+// randomWeightVectors is the shared corpus for the alias-vs-Fenwick property
+// tests: randomized vectors plus the degenerate shapes the issue calls out
+// (single-node, zero weights, uniform).
+func randomWeightVectors(rng *xrand.RNG) [][]float64 {
+	vectors := [][]float64{
+		{3},                   // single node
+		{0, 0, 0, 7, 0},       // one positive among zeros
+		{1, 1, 1, 1},          // uniform
+		{0.5, 0, 2.5, 0, 1},   // zeros interleaved
+		{1e-9, 1, 1e9},        // extreme dynamic range
+		{2, 2, 2, 2, 2, 2, 2}, // uniform, odd length
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(64)
+		w := make([]float64, n)
+		for i := range w {
+			switch rng.Intn(4) {
+			case 0:
+				w[i] = 0 // sprinkle degenerate zero-weight entries
+			default:
+				w[i] = rng.Exp(1)
+			}
+		}
+		vectors = append(vectors, w)
+	}
+	return vectors
+}
+
+// TestAliasMatchesFenwickExactly is the deterministic half of the property
+// test: for every weight vector the alias table's analytically computed
+// per-index probability matches the Fenwick reference distribution
+// (weight/total) to floating-point tolerance, and the two samplers have
+// identical support.
+func TestAliasMatchesFenwickExactly(t *testing.T) {
+	rng := xrand.New(101)
+	var a aliasTable
+	for vi, w := range randomWeightVectors(rng) {
+		f := newFenwick(len(w))
+		for i, x := range w {
+			f.Set(i, x)
+		}
+		a.build(w)
+		total := f.Total()
+		if math.Abs(a.total-total) > 1e-9*math.Max(1, total) {
+			t.Fatalf("vector %d: alias total %v, fenwick total %v", vi, a.total, total)
+		}
+		for i := range w {
+			want := 0.0
+			if total > 0 {
+				want = f.Get(i) / total
+			}
+			got := aliasCellProbability(&a, i)
+			if a.total <= 0 {
+				got = 0
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("vector %d index %d: alias probability %v, fenwick %v", vi, i, got, want)
+			}
+			// Support identity: zero-weight indices are unreachable.
+			if w[i] <= 0 && got != 0 {
+				t.Fatalf("vector %d index %d: zero weight but reachable with probability %v", vi, i, got)
+			}
+		}
+	}
+}
+
+// TestAliasSupportUnderSampling draws from both samplers and checks no draw
+// ever lands outside the positive-weight support.
+func TestAliasSupportUnderSampling(t *testing.T) {
+	rng := xrand.New(202)
+	var a aliasTable
+	for vi, w := range randomWeightVectors(rng) {
+		f := newFenwick(len(w))
+		for i, x := range w {
+			f.Set(i, x)
+		}
+		a.build(w)
+		for draw := 0; draw < 2000; draw++ {
+			i := a.sample(rng)
+			j := f.Sample(rng.Float64() * f.Total())
+			if f.Total() <= 0 {
+				if i != -1 || j != -1 {
+					t.Fatalf("vector %d: zero-total sampling returned %d / %d, want -1 / -1", vi, i, j)
+				}
+				break
+			}
+			if i < 0 || i >= len(w) || w[i] <= 0 {
+				t.Fatalf("vector %d: alias sampled index %d outside the positive support", vi, i)
+			}
+			if j < 0 || j >= len(w) || w[j] <= 0 {
+				t.Fatalf("vector %d: fenwick sampled index %d outside the positive support", vi, j)
+			}
+		}
+	}
+}
+
+// TestAliasChiSquare is the statistical half: empirical alias-sampler counts
+// against the Fenwick reference distribution pass a chi-square tolerance.
+// Seeds are fixed, so the test is deterministic.
+func TestAliasChiSquare(t *testing.T) {
+	rng := xrand.New(303)
+	sampleRNG := xrand.New(404)
+	var a aliasTable
+	for vi, w := range randomWeightVectors(rng) {
+		f := newFenwick(len(w))
+		total := 0.0
+		for i, x := range w {
+			f.Set(i, x)
+			total += x
+		}
+		if total <= 0 {
+			continue
+		}
+		a.build(w)
+		const draws = 100000
+		counts := make([]int, len(w))
+		for d := 0; d < draws; d++ {
+			counts[a.sample(sampleRNG)]++
+		}
+		chi2 := 0.0
+		df := -1 // one constraint: counts sum to draws
+		for i := range w {
+			expected := float64(draws) * f.Get(i) / total
+			if expected == 0 {
+				if counts[i] != 0 {
+					t.Fatalf("vector %d index %d: %d draws on an expected-zero cell", vi, i, counts[i])
+				}
+				continue
+			}
+			// Cells expecting fewer than ~5 draws make chi-square unreliable;
+			// they are covered by the exact-distribution test above.
+			if expected < 5 {
+				continue
+			}
+			d := float64(counts[i]) - expected
+			chi2 += d * d / expected
+			df++
+		}
+		if df < 1 {
+			continue
+		}
+		// A chi-square variate with df degrees of freedom has mean df and
+		// variance 2·df; df + 5·sqrt(2·df) sits far beyond the 0.999 quantile
+		// for every df, so with fixed seeds this never flakes while still
+		// catching a mis-built table (whose chi2 grows linearly in draws).
+		limit := float64(df) + 5*math.Sqrt(2*float64(df))
+		if chi2 > limit {
+			t.Fatalf("vector %d: chi-square %.1f exceeds tolerance %.1f (df=%d)", vi, chi2, limit, df)
+		}
+	}
+}
+
+// TestAliasRebuildReusesStorage pins the recycling contract: rebuilding at
+// equal-or-smaller size allocates nothing.
+func TestAliasRebuildReusesStorage(t *testing.T) {
+	var a aliasTable
+	w := make([]float64, 512)
+	rng := xrand.New(7)
+	for i := range w {
+		w[i] = rng.Exp(1)
+	}
+	a.build(w)
+	allocs := testing.AllocsPerRun(100, func() {
+		a.build(w)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state rebuild allocates %v times per run, want 0", allocs)
+	}
+}

@@ -26,6 +26,13 @@ type AsyncOptions struct {
 	MaxTime float64
 	// RecordTrace stores a TracePoint per newly informed vertex.
 	RecordTrace bool
+	// StreamVersion selects the sampling discipline: 0 or StreamV1 is the
+	// frozen seed-compatible v1 stream (Fenwick sampling, scalar variates);
+	// StreamV2 is the opt-in fast discipline (alias-snapshot rejection
+	// sampling, batched variates). v2 simulates the identical process law but
+	// consumes a different random stream, so its results are statistically
+	// equivalent — not byte-identical — to v1; see internal/statcheck.
+	StreamVersion int
 }
 
 // RunAsync simulates the asynchronous rumor-spreading process on a dynamic
@@ -47,6 +54,9 @@ func RunAsync(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG) (*Result, 
 // recycled the steady-state loop performs zero heap allocations (traces
 // reuse the result's backing array once it has grown).
 func RunAsyncInto(net dynamic.Network, opts AsyncOptions, rng *xrand.RNG, sc *Scratch, res *Result) (*Result, error) {
+	if opts.StreamVersion >= StreamV2 {
+		return runAsyncV2Into(net, opts, rng, sc, res)
+	}
 	n := net.N()
 	if opts.Start < 0 || opts.Start >= n {
 		return nil, ErrInvalidStart

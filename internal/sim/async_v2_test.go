@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+
+	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/gen"
+	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/xrand"
+)
+
+func v2Opts(start int) AsyncOptions {
+	return AsyncOptions{Start: start, StreamVersion: StreamV2}
+}
+
+func TestRunAsyncV2SingleVertex(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(1))
+	res, err := RunAsync(net, v2Opts(0), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.SpreadTime != 0 || res.Informed != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestRunAsyncV2InvalidStart(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(4))
+	if _, err := RunAsync(net, v2Opts(9), xrand.New(1)); err != ErrInvalidStart {
+		t.Fatalf("error = %v, want ErrInvalidStart", err)
+	}
+}
+
+func TestRunAsyncV2CompletesOnBasicGraphs(t *testing.T) {
+	rng := xrand.New(2)
+	nets := map[string]dynamic.Network{
+		"clique": dynamic.NewStatic(gen.Clique(40)),
+		"star":   dynamic.NewStatic(gen.Star(40, 0)),
+		"cycle":  dynamic.NewStatic(gen.Cycle(40)),
+		"path":   dynamic.NewStatic(gen.Path(40)),
+	}
+	for name, net := range nets {
+		for _, mode := range []Mode{PushPull, PushOnly, PullOnly} {
+			opts := v2Opts(0)
+			opts.Mode = mode
+			res, err := RunAsync(net, opts, rng)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			if !res.Completed || res.Informed != net.N() {
+				t.Fatalf("%s/%v: incomplete result %+v", name, mode, res)
+			}
+			if res.SpreadTime <= 0 {
+				t.Fatalf("%s/%v: non-positive spread time", name, mode)
+			}
+		}
+	}
+}
+
+func TestRunAsyncV2DisconnectedNeverCompletes(t *testing.T) {
+	net := dynamic.NewStatic(isolatedVertexGraph())
+	opts := v2Opts(0)
+	opts.MaxTime = 50
+	res, err := RunAsync(net, opts, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("isolated vertex was reached")
+	}
+	if res.Informed != 4 {
+		t.Fatalf("informed %d vertices, want the 4-clique", res.Informed)
+	}
+	if res.SpreadTime < 50 {
+		t.Fatalf("aborted at %v, want MaxTime 50", res.SpreadTime)
+	}
+}
+
+func TestRunAsyncV2TraceRecorded(t *testing.T) {
+	net := dynamic.NewStatic(gen.Clique(12))
+	opts := v2Opts(0)
+	opts.RecordTrace = true
+	res, err := RunAsync(net, opts, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 12 {
+		t.Fatalf("trace has %d points, want 12", len(res.Trace))
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Time < res.Trace[i-1].Time || res.Trace[i].Informed != res.Trace[i-1].Informed+1 {
+			t.Fatalf("trace not monotone at %d: %+v -> %+v", i, res.Trace[i-1], res.Trace[i])
+		}
+	}
+}
+
+// TestRunAsyncV2Deterministic pins that v2, like v1, is a pure function of
+// (net, opts, seed): recycled scratch/result runs reproduce fresh runs bit
+// for bit.
+func TestRunAsyncV2Deterministic(t *testing.T) {
+	net := dynamic.NewStatic(gen.Star(30, 0))
+	fresh, err := RunAsync(net, v2Opts(3), xrand.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScratch()
+	var res Result
+	// Run twice through the same scratch: the second run must not be polluted
+	// by leftover state (variate buffers, changed lists) from the first.
+	for i := 0; i < 2; i++ {
+		got, err := RunAsyncInto(net, v2Opts(3), xrand.New(99), sc, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SpreadTime != fresh.SpreadTime || got.Events != fresh.Events || got.Steps != fresh.Steps {
+			t.Fatalf("run %d: recycled state changed the result: %+v vs %+v", i, got, fresh)
+		}
+	}
+}
+
+// TestCrossValidationV1VsV2 compares the spread-time distributions of the
+// two stream disciplines on static and dynamic instances: same process law,
+// different random streams, so the ensembles must agree statistically. The
+// full-size equivalence gate lives in internal/statcheck; this is the
+// small-instance smoke that catches gross v2 sampler bugs close to home.
+func TestCrossValidationV1VsV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	cases := map[string]dynamic.Network{
+		"clique10": dynamic.NewStatic(gen.Clique(10)),
+		"star10":   dynamic.NewStatic(gen.Star(10, 0)),
+		"cycle12":  dynamic.NewStatic(gen.Cycle(12)),
+		"path8":    dynamic.NewStatic(gen.Path(8)),
+	}
+	const reps = 400
+	for name, net := range cases {
+		rngA := xrand.New(1000)
+		rngB := xrand.New(2000)
+		var v1, v2 []float64
+		for i := 0; i < reps; i++ {
+			ra, err := RunAsync(net, AsyncOptions{Start: 0}, rngA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := RunAsync(net, v2Opts(0), rngB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1 = append(v1, ra.SpreadTime)
+			v2 = append(v2, rb.SpreadTime)
+		}
+		d := stats.KSDistance(v1, v2)
+		// With 400 samples per side, a KS distance above ~0.12 would reject
+		// equality at far beyond the 1% level.
+		if d > 0.12 {
+			t.Errorf("%s: KS distance between v1 and v2 = %v (means %.3f vs %.3f)",
+				name, d, stats.Mean(v1), stats.Mean(v2))
+		}
+	}
+}
+
+// TestCrossValidationV1VsV2Dynamic repeats the comparison on a rebuilding
+// dynamic network, which exercises the v2 snapshot-rebuild path every unit
+// interval.
+func TestCrossValidationV1VsV2Dynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	const reps = 300
+	var v1, v2 []float64
+	for i := 0; i < reps; i++ {
+		rng := xrand.New(uint64(3000 + i))
+		netA, err := dynamic.NewDichotomyG2(12, rng.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := RunAsync(netA, AsyncOptions{Start: netA.StartVertex()}, rng.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1 = append(v1, ra.SpreadTime)
+
+		rng2 := xrand.New(uint64(9000 + i))
+		netB, err := dynamic.NewDichotomyG2(12, rng2.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := RunAsync(netB, v2Opts(netB.StartVertex()), rng2.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2 = append(v2, rb.SpreadTime)
+	}
+	if d := stats.KSDistance(v1, v2); d > 0.15 {
+		t.Errorf("dynamic: KS distance %v (means %.3f vs %.3f)",
+			d, stats.Mean(v1), stats.Mean(v2))
+	}
+}

@@ -14,10 +14,11 @@ package sim
 // RunFlooding wrappers do.
 type Scratch struct {
 	async    asyncState
-	informed []bool // synchronous informed set
-	next     []bool // synchronous next-round buffer
-	frontier []int  // flooding: vertices informed in the previous round
-	spread   []int  // flooding: vertices informed in the current round
+	asyncV2  asyncStateV2 // v2 stream discipline (AsyncOptions.StreamVersion)
+	informed []bool       // synchronous informed set
+	next     []bool       // synchronous next-round buffer
+	frontier []int        // flooding: vertices informed in the previous round
+	spread   []int        // flooding: vertices informed in the current round
 }
 
 // frontierBuffers returns the emptied (frontier, spread) vertex lists for the

@@ -1,0 +1,154 @@
+// Package statcheck is the statistical-equivalence gate for changes that are
+// allowed to alter random streams but not distributions. The v1 async stream
+// discipline is frozen byte-for-byte; the opt-in v2 discipline (sim.StreamV2)
+// redraws the same process with different randomness, so its contract is
+// weaker — every observable must follow the same law — and that contract is
+// what this package tests, with fixed seeds so a failure is reproducible.
+//
+// The gate compares two ensembles of a scalar observable (spread times, in
+// the regression suite) with two complementary checks:
+//
+//   - A two-sample Kolmogorov–Smirnov test: the KS distance between the
+//     empirical CDFs must stay below the asymptotic critical value
+//     c(α)·sqrt((n+m)/(n·m)) with c(α) = sqrt(ln(2/α)/2). The default
+//     α = 0.001 keeps the false-failure rate of a fixed-seed suite
+//     negligible while still rejecting gross distributional drift: at
+//     n = m = 400 the bound is ≈ 0.138, far below the ≈ 0.25 distance of,
+//     say, exponentials whose rates differ by a factor of two.
+//   - Quantile bands: at each checked quantile (default 0.5 and 0.9) the
+//     relative gap |Qa−Qb| / max(|Qa|,|Qb|) must stay below a slack (default
+//     0.15). The KS statistic is weak in the tails at these sample sizes;
+//     the bands catch a scaled or shifted tail that KS alone would pass.
+//     Low quantiles are deliberately not checked: where the density is thin
+//     and the values small, the relative sampling error of an empirical
+//     quantile at a few hundred reps is of the same order as the slack.
+//     The band check presumes the samples are large enough that the
+//     quantile's own relative sampling error sqrt(q(1−q)(1/n+1/m))/(f(Q)·Q)
+//     is well below the slack — true for a few hundred reps of the
+//     concentrated spread-time distributions this gate exists for, but a
+//     heavy-tailed observable at small n needs more reps or a wider slack.
+//
+// Both thresholds are deliberately loose for honest sampling noise and tight
+// for implementation bugs: a resampled identical law passes with large
+// margin, while an off-by-one in the event loop, a biased sampler or a wrong
+// holding-time rate moves median or mass enough to trip one of the checks.
+package statcheck
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dynamicrumor/internal/stats"
+)
+
+// Default thresholds of the equivalence gate; see the package comment for
+// the reasoning behind the numbers.
+const (
+	// DefaultAlpha is the per-comparison significance level of the KS check.
+	DefaultAlpha = 0.001
+	// DefaultQuantileSlack is the allowed relative gap at each checked
+	// quantile.
+	DefaultQuantileSlack = 0.15
+)
+
+// DefaultQuantiles are the probability levels checked by the quantile-band
+// gate when Options.Quantiles is nil: median and upper tail.
+func DefaultQuantiles() []float64 { return []float64{0.5, 0.9} }
+
+// Options tunes the equivalence gate. The zero value selects the documented
+// defaults.
+type Options struct {
+	// Alpha is the KS significance level; 0 means DefaultAlpha.
+	Alpha float64
+	// Quantiles are the probability levels for the band check; nil means
+	// DefaultQuantiles(). An explicitly empty non-nil slice disables the
+	// band check.
+	Quantiles []float64
+	// QuantileSlack is the allowed relative gap per quantile; 0 means
+	// DefaultQuantileSlack.
+	QuantileSlack float64
+}
+
+// KSLimit returns the asymptotic two-sample KS critical distance
+// c(α)·sqrt((n+m)/(n·m)) with c(α) = sqrt(ln(2/α)/2).
+func KSLimit(n, m int, alpha float64) float64 {
+	c := math.Sqrt(math.Log(2/alpha) / 2)
+	return c * math.Sqrt(float64(n+m)/(float64(n)*float64(m)))
+}
+
+// QuantileBand is the outcome of one quantile comparison.
+type QuantileBand struct {
+	Q      float64 // probability level
+	A, B   float64 // empirical quantiles of the two samples
+	RelGap float64 // |A−B| / max(|A|,|B|); 0 when both quantiles are 0
+}
+
+// Within reports whether the band holds at the given slack.
+func (b QuantileBand) Within(slack float64) bool { return b.RelGap <= slack }
+
+// Report is the full outcome of one equivalence comparison. Err() renders
+// the verdict; the fields let tests and tools print margins.
+type Report struct {
+	N, M          int
+	KS            float64
+	KSLimit       float64
+	Quantiles     []QuantileBand
+	QuantileSlack float64
+}
+
+// Err returns nil when both checks pass, and an error naming every violated
+// threshold otherwise.
+func (r Report) Err() error {
+	var fails []string
+	if r.KS > r.KSLimit {
+		fails = append(fails, fmt.Sprintf("KS distance %.4f exceeds limit %.4f (n=%d, m=%d)", r.KS, r.KSLimit, r.N, r.M))
+	}
+	for _, b := range r.Quantiles {
+		if !b.Within(r.QuantileSlack) {
+			fails = append(fails, fmt.Sprintf("q%.2f gap %.1f%% exceeds %.0f%% (%.4g vs %.4g)",
+				b.Q, 100*b.RelGap, 100*r.QuantileSlack, b.A, b.B))
+		}
+	}
+	if len(fails) == 0 {
+		return nil
+	}
+	return fmt.Errorf("statcheck: distributions differ: %s", strings.Join(fails, "; "))
+}
+
+// Compare runs the equivalence gate on two samples of the same observable
+// and returns the full report; Compare(a, b, o).Err() == nil is the pass
+// condition. Both samples must be non-empty. The inputs are not modified.
+func Compare(a, b []float64, opts Options) Report {
+	if len(a) == 0 || len(b) == 0 {
+		panic("statcheck: Compare needs non-empty samples")
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	slack := opts.QuantileSlack
+	if slack == 0 {
+		slack = DefaultQuantileSlack
+	}
+	qs := opts.Quantiles
+	if qs == nil {
+		qs = DefaultQuantiles()
+	}
+	r := Report{
+		N:             len(a),
+		M:             len(b),
+		KS:            stats.KSDistance(a, b),
+		KSLimit:       KSLimit(len(a), len(b), alpha),
+		QuantileSlack: slack,
+	}
+	for _, q := range qs {
+		qa, qb := stats.Quantile(a, q), stats.Quantile(b, q)
+		band := QuantileBand{Q: q, A: qa, B: qb}
+		if denom := math.Max(math.Abs(qa), math.Abs(qb)); denom > 0 {
+			band.RelGap = math.Abs(qa-qb) / denom
+		}
+		r.Quantiles = append(r.Quantiles, band)
+	}
+	return r
+}

@@ -1,0 +1,145 @@
+package statcheck
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dynamicrumor/internal/xrand"
+)
+
+// expSample draws n iid Exponential(rate) variates from a private stream.
+func expSample(seed uint64, n int, rate float64) []float64 {
+	rng := xrand.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Exp(rate)
+	}
+	return xs
+}
+
+func TestKSLimitMatchesFormula(t *testing.T) {
+	// n = m = 400, α = 0.001: c = sqrt(ln(2000)/2) ≈ 1.9495,
+	// limit = c·sqrt(800/160000) ≈ 0.13785 — the number quoted in the
+	// package comment.
+	got := KSLimit(400, 400, 0.001)
+	if math.Abs(got-0.13785) > 1e-4 {
+		t.Fatalf("KSLimit(400, 400, 0.001) = %v, want ≈ 0.13785", got)
+	}
+	if asym := KSLimit(100, 10000, 0.001); asym >= KSLimit(100, 100, 0.001) {
+		t.Fatalf("growing one sample should tighten the limit, got %v", asym)
+	}
+}
+
+// TestIdenticalLawPasses is the false-positive guard: independent resamples
+// of the same distribution — exactly what the v2 stream discipline is — must
+// pass the gate, across several disjoint seed pairs.
+func TestIdenticalLawPasses(t *testing.T) {
+	for trial, seed := range []uint64{1, 77, 4096, 20200424} {
+		// 2000 samples per side: an Exp(1) median has ≈ 6.5%·sqrt(500/n)
+		// relative error per sample, so the 15% band needs more than the few
+		// hundred reps that suffice for concentrated spread-time ensembles.
+		a := expSample(seed, 2000, 1)
+		b := expSample(seed+1000, 2000, 1)
+		r := Compare(a, b, Options{})
+		if err := r.Err(); err != nil {
+			t.Fatalf("trial %d: identical law rejected: %v", trial, err)
+		}
+		// The margin should be comfortable, not a coin flip: identical laws
+		// sit far inside the α = 0.001 bound.
+		if r.KS > 0.75*r.KSLimit {
+			t.Fatalf("trial %d: KS %.4f uncomfortably close to limit %.4f", trial, r.KS, r.KSLimit)
+		}
+	}
+}
+
+// TestDetectsScaleDrift is the power check: halving the rate of an
+// exponential (a gross bug, e.g. a doubled holding time) must trip both the
+// KS check and the median band.
+func TestDetectsScaleDrift(t *testing.T) {
+	a := expSample(9, 500, 1)
+	b := expSample(10, 500, 2)
+	r := Compare(a, b, Options{})
+	if r.KS <= r.KSLimit {
+		t.Fatalf("KS %.4f did not exceed limit %.4f for a 2× rate drift", r.KS, r.KSLimit)
+	}
+	err := r.Err()
+	if err == nil {
+		t.Fatal("2× rate drift passed the gate")
+	}
+	if !strings.Contains(err.Error(), "q0.50") {
+		t.Fatalf("median band did not trip on a 2× scale drift: %v", err)
+	}
+}
+
+// TestQuantileBandCatchesTailDrift pins why the gate has two checks: an
+// upper tail stretched by 25% moves the empirical CDFs by only ~0.07 — well
+// inside the KS bound at these sample sizes — but shifts the 0.9-quantile by
+// ~20%, so the band check must reject it.
+func TestQuantileBandCatchesTailDrift(t *testing.T) {
+	a := expSample(21, 800, 1)
+	b := expSample(22, 800, 1)
+	for i, x := range b {
+		if x > 1.609 { // the Exp(1) 0.8-quantile, ln 5
+			b[i] = 1.25 * x
+		}
+	}
+	r := Compare(a, b, Options{})
+	if r.KS > r.KSLimit {
+		t.Fatalf("KS %.4f exceeded limit %.4f — tail drift was supposed to slip past KS", r.KS, r.KSLimit)
+	}
+	err := r.Err()
+	if err == nil {
+		t.Fatal("stretched tail passed the gate")
+	}
+	if !strings.Contains(err.Error(), "q0.90") {
+		t.Fatalf("tail drift tripped the wrong check: %v", err)
+	}
+}
+
+func TestOptionsDefaultsAndOverrides(t *testing.T) {
+	a := expSample(31, 200, 1)
+	b := expSample(32, 200, 1)
+	r := Compare(a, b, Options{})
+	if len(r.Quantiles) != len(DefaultQuantiles()) {
+		t.Fatalf("default report has %d quantile bands, want %d", len(r.Quantiles), len(DefaultQuantiles()))
+	}
+	if r.QuantileSlack != DefaultQuantileSlack {
+		t.Fatalf("default slack %v, want %v", r.QuantileSlack, DefaultQuantileSlack)
+	}
+	// An explicitly empty (non-nil) quantile list disables the band check.
+	r = Compare(a, b, Options{Quantiles: []float64{}})
+	if len(r.Quantiles) != 0 {
+		t.Fatalf("explicit empty quantile list still produced %d bands", len(r.Quantiles))
+	}
+	// A 1000× slack accepts anything the KS check accepts.
+	r = Compare(a, expSample(33, 200, 50), Options{QuantileSlack: 1000})
+	if kerr := r.Err(); kerr == nil {
+		t.Fatal("wildly different samples passed: KS check must still gate")
+	} else if strings.Contains(kerr.Error(), "q0.") {
+		t.Fatalf("quantile band tripped despite huge slack: %v", kerr)
+	}
+}
+
+func TestCompareRejectsEmptySamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compare accepted an empty sample")
+		}
+	}()
+	Compare(nil, []float64{1}, Options{})
+}
+
+func TestZeroQuantilesHaveZeroGap(t *testing.T) {
+	a := []float64{0, 0, 0, 5}
+	b := []float64{0, 0, 0, 5}
+	r := Compare(a, b, Options{})
+	for _, band := range r.Quantiles {
+		if band.RelGap != 0 {
+			t.Fatalf("identical degenerate samples report gap %v at q%.2f", band.RelGap, band.Q)
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("identical degenerate samples rejected: %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package xrand
+
+import "math"
+
+// The Fill variants below generate variates in batches. Each is draw-for-draw
+// identical to calling its scalar counterpart len(dst) times — same stream
+// consumption, same values — so a simulator can switch between scalar and
+// batched generation freely without changing its output. Batching exists
+// because the v2 stream discipline consumes unit exponentials and uniforms in
+// bulk: filling a buffer amortizes the per-call overhead and keeps the hot
+// loop free of function-call-per-variate costs.
+
+// Float64Fill fills dst with uniform values in [0, 1), consuming exactly
+// len(dst) Uint64 draws — the same stream Float64 would consume called
+// len(dst) times.
+func (r *RNG) Float64Fill(dst []float64) {
+	s := &r.s
+	for i := range dst {
+		// Inlined Uint64: xoshiro256** next().
+		result := rotl(s[1]*5, 7) * 9
+		t := s[1] << 17
+		s[2] ^= s[0]
+		s[3] ^= s[1]
+		s[1] ^= s[2]
+		s[0] ^= s[3]
+		s[2] ^= t
+		s[3] = rotl(s[3], 45)
+		dst[i] = float64(result>>11) / (1 << 53)
+	}
+}
+
+// ExpFill fills dst with exponentially distributed values of the given rate,
+// draw-for-draw identical to len(dst) sequential Exp(rate) calls. It panics
+// if rate <= 0.
+func (r *RNG) ExpFill(rate float64, dst []float64) {
+	if rate <= 0 {
+		panic("xrand: ExpFill called with non-positive rate")
+	}
+	r.Float64Fill(dst)
+	// Divide rather than multiply by a precomputed reciprocal: the batch must
+	// be bit-identical to the scalar Exp, which divides.
+	for i, u := range dst {
+		dst[i] = -math.Log(1-u) / rate
+	}
+}
+
+// GeometricFill fills dst with geometric variates (failures before the first
+// success of Bernoulli(p) trials), draw-for-draw identical to len(dst)
+// sequential Geometric(p) calls. It panics if p is outside (0, 1].
+func (r *RNG) GeometricFill(p float64, dst []int) {
+	if p <= 0 || p > 1 {
+		panic("xrand: GeometricFill called with p outside (0,1]")
+	}
+	if p == 1 {
+		// Geometric(1) consumes no draws, so neither does its batch.
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	invLog := 1 / math.Log(1-p)
+	for i := range dst {
+		u := 1 - r.Float64()
+		dst[i] = int(math.Floor(math.Log(u) * invLog))
+	}
+}

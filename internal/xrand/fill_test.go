@@ -1,0 +1,69 @@
+package xrand
+
+import "testing"
+
+// TestFloat64FillMatchesScalar pins the batch contract: Float64Fill is
+// draw-for-draw identical to sequential Float64 calls, for several buffer
+// sizes including empty.
+func TestFloat64FillMatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 256} {
+		a, b := New(13), New(13)
+		got := make([]float64, n)
+		a.Float64Fill(got)
+		for i := 0; i < n; i++ {
+			if want := b.Float64(); got[i] != want {
+				t.Fatalf("n=%d: Float64Fill[%d] = %v, want %v", n, i, got[i], want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: Float64Fill advanced the stream differently from scalar calls", n)
+		}
+	}
+}
+
+func TestExpFillMatchesScalar(t *testing.T) {
+	for _, rate := range []float64{0.25, 1, 3.5} {
+		a, b := New(29), New(29)
+		got := make([]float64, 100)
+		a.ExpFill(rate, got)
+		for i := range got {
+			if want := b.Exp(rate); got[i] != want {
+				t.Fatalf("rate=%v: ExpFill[%d] = %v, want %v", rate, i, got[i], want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("rate=%v: ExpFill advanced the stream differently from scalar calls", rate)
+		}
+	}
+}
+
+func TestGeometricFillMatchesScalar(t *testing.T) {
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		a, b := New(31), New(31)
+		got := make([]int, 200)
+		a.GeometricFill(p, got)
+		for i := range got {
+			if want := b.Geometric(p); got[i] != want {
+				t.Fatalf("p=%v: GeometricFill[%d] = %d, want %d", p, i, got[i], want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("p=%v: GeometricFill advanced the stream differently from scalar calls", p)
+		}
+	}
+}
+
+func TestFillPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := New(1)
+	mustPanic("ExpFill(0)", func() { r.ExpFill(0, make([]float64, 1)) })
+	mustPanic("GeometricFill(0)", func() { r.GeometricFill(0, make([]int, 1)) })
+	mustPanic("GeometricFill(1.5)", func() { r.GeometricFill(1.5, make([]int, 1)) })
+}

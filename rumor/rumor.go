@@ -71,6 +71,15 @@ const (
 	PullOnly = sim.PullOnly
 )
 
+// Stream disciplines of the asynchronous simulator (Scenario.Stream and
+// AsyncOptions.StreamVersion): v1 is the frozen seed-compatible default, v2
+// the faster opt-in discipline, statistically equivalent but not
+// byte-identical (gated by internal/statcheck).
+const (
+	StreamV1 = sim.StreamV1
+	StreamV2 = sim.StreamV2
+)
+
 // NewRNG returns a deterministic random generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
 

@@ -55,6 +55,12 @@ NR == FNR && prevfile != "" {
 /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    # Benchmarks comparing the async stream disciplines spell the mode in a
+    # "stream=vN" sub-benchmark component; surface it as a typed field so
+    # trajectory tooling can split the series per discipline.
+    stream = ""
+    if (match(name, /stream=v[0-9]+/))
+        stream = substr(name, RSTART + 8, RLENGTH - 8)
     iters = $2
     ns = ""; bytes = ""; allocs = ""; nsrep = ""
     for (i = 3; i < NF; i++) {
@@ -68,6 +74,7 @@ NR == FNR && prevfile != "" {
     names[count] = name; nss[count] = ns; allocss[count] = allocs
     if (count > 1) printf ","
     printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (stream != "") printf ", \"stream\": %s", stream
     if (nsrep != "") printf ", \"ns_per_rep\": %s", nsrep
     if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
