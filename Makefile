@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke test-equivalence smoke-service serve check clean
+.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke test-equivalence smoke-service smoke-cluster serve check clean
 
 # The anchor benchmarks tracked across PRs (see BENCH_*.json and
 # EXPERIMENTS.md): the Monte-Carlo engine fan-out (batch + streaming,
@@ -77,6 +77,12 @@ serve:
 # require a resubmission to be a byte-identical cache hit.
 smoke-service:
 	sh scripts/service_smoke.sh
+
+# smoke-cluster is the tier-2 end-to-end guard for the distributed rumord:
+# coordinator + two workers run a 10⁴-rep ensemble (one worker killed
+# mid-run) and the summary must be byte-identical to a single-node rumord's.
+smoke-cluster:
+	sh scripts/cluster_smoke.sh
 
 check: build vet fmt-check test
 

@@ -12,14 +12,29 @@
 //	GET    /v1/runs/{id}           job status + summary when done
 //	DELETE /v1/runs/{id}           cancel a queued or running job
 //	GET    /v1/scenarios/families  the network family registry
-//	GET    /healthz                liveness
-//	GET    /metrics                job, cache, budget and throughput counters
+//	GET    /healthz                liveness + build version
+//	GET    /metrics                counters (JSON, or Prometheus text via Accept)
+//
+// The same binary is every role of a cluster. With -cluster the daemon
+// serves the identical API but executes nothing itself: runs are sharded
+// into repetition-range leases and handed to workers over four extra
+// endpoints (POST /v1/cluster/{register,lease,heartbeat,result}). With
+// -worker -join <url> the daemon is such a worker: it registers, executes
+// leased ranges on the local engine, and streams partial results back.
+// Results are byte-identical across all three roles — the distributed merge
+// is exact.
 //
 // Example:
 //
 //	rumord -addr :8080 -budget 8 &
 //	curl -s localhost:8080/v1/runs -d \
 //	  '{"scenario":{"network":{"family":"clique","params":{"n":512}}},"reps":64,"seed":1}'
+//
+// Cluster:
+//
+//	rumord -cluster -addr :8080 &
+//	rumord -worker -join http://localhost:8080 &
+//	rumord -worker -join http://localhost:8080 &
 package main
 
 import (
@@ -34,6 +49,8 @@ import (
 	"syscall"
 	"time"
 
+	"dynamicrumor/internal/buildinfo"
+	"dynamicrumor/internal/cluster"
 	"dynamicrumor/internal/service"
 )
 
@@ -48,35 +65,82 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("rumord", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	budget := fs.Int("budget", 0,
-		"total engine worker goroutines shared across all running jobs (0 means GOMAXPROCS)")
+		"total engine worker goroutines shared across all running jobs (0 means GOMAXPROCS); a -worker's engine parallelism")
 	queueLimit := fs.Int("queue", 256, "maximum queued jobs before submissions get 429")
 	cacheLimit := fs.Int("cache", 1024, "maximum cached run summaries")
 	maxReps := fs.Int("max-reps", 10_000_000, "maximum repetitions a single job may request")
 	historyLimit := fs.Int("history", 4096, "finished job records retained (oldest forgotten first)")
 	streamDefault := fs.Int("stream-default", 0,
 		"async stream discipline for scenarios that don't pin one: 0 leaves scenarios untouched, 1 pins the frozen v1, 2 the faster statistically-equivalent v2")
+	clusterMode := fs.Bool("cluster", false,
+		"coordinate a worker cluster: serve the same API but shard runs across joined -worker processes instead of executing locally")
+	workerMode := fs.Bool("worker", false, "run as a cluster worker executing leased repetition ranges (requires -join)")
+	join := fs.String("join", "", "coordinator base URL a worker connects to, e.g. http://host:8080 (implies -worker)")
+	name := fs.String("name", "", "worker name reported to the coordinator (default: the hostname)")
+	leaseTTL := fs.Duration("lease-ttl", 15*time.Second,
+		"coordinator lease validity window; a worker silent past it has its leases reassigned")
+	pollInterval := fs.Duration("poll", 500*time.Millisecond,
+		"idle polling cadence the coordinator suggests to workers")
+	shardSize := fs.Int("shard", 0, "repetitions per worker lease (0 means automatic)")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("rumord", buildinfo.Version())
+		return nil
 	}
 	switch *streamDefault {
 	case 0, 1, 2:
 	default:
 		return fmt.Errorf("-stream-default must be 0, 1 or 2, got %d", *streamDefault)
 	}
+	if *join != "" {
+		*workerMode = true
+	}
+	if *workerMode && *clusterMode {
+		return errors.New("-worker and -cluster are mutually exclusive")
+	}
+	if *workerMode {
+		if *join == "" {
+			return errors.New("-worker requires -join <coordinator URL>")
+		}
+		return runWorker(*join, *name, *budget)
+	}
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Budget:        *budget,
 		QueueLimit:    *queueLimit,
 		CacheLimit:    *cacheLimit,
 		MaxReps:       *maxReps,
 		HistoryLimit:  *historyLimit,
 		DefaultStream: *streamDefault,
-	})
-	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	}
+	var coord *cluster.Coordinator
+	if *clusterMode {
+		coord = cluster.New(cluster.Config{
+			LeaseTTL:     *leaseTTL,
+			PollInterval: *pollInterval,
+			ShardSize:    *shardSize,
+			Logf:         log.Printf,
+		})
+		cfg.Backend = coord
+	}
+	svc := service.New(cfg)
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if coord != nil {
+		coord.Mount(mux)
+	}
+	server := &http.Server{Addr: *addr, Handler: mux}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rumord: listening on %s", *addr)
+		role := "local"
+		if coord != nil {
+			role = "cluster coordinator"
+		}
+		log.Printf("rumord %s: listening on %s (%s)", buildinfo.Version(), *addr, role)
 		errc <- server.ListenAndServe()
 	}()
 
@@ -85,6 +149,9 @@ func run(args []string) error {
 	select {
 	case err := <-errc:
 		svc.Close()
+		if coord != nil {
+			coord.Close()
+		}
 		return err
 	case sig := <-stop:
 		log.Printf("rumord: %s, shutting down", sig)
@@ -98,5 +165,29 @@ func run(args []string) error {
 		log.Printf("rumord: shutdown: %v", err)
 	}
 	svc.Close()
+	if coord != nil {
+		coord.Close()
+	}
+	return nil
+}
+
+// runWorker joins a coordinator and executes leased ranges until terminated.
+func runWorker(join, name string, cpus int) error {
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: join,
+		Name:        name,
+		CPUs:        cpus,
+		Logf:        log.Printf,
+	})
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	log.Printf("rumord %s: worker %q joining %s", buildinfo.Version(), name, join)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	log.Printf("rumord: worker shut down")
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"dynamicrumor/internal/buildinfo"
 	"dynamicrumor/rumor"
 )
 
@@ -67,8 +68,13 @@ func run(args []string) error {
 	fs.IntVar(&opts.stream, "stream", 0, "async stream discipline: 1 is the frozen seed-compatible v1 (default), 2 the faster statistically-equivalent v2")
 	fs.Uint64Var(&opts.seed, "seed", 1, "random seed")
 	fs.BoolVar(&opts.trace, "trace", false, "print the informed-count trace of the first run")
+	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("rumorsim", buildinfo.Version())
+		return nil
 	}
 	if opts.reps < 1 {
 		return errors.New("-reps must be at least 1")

@@ -1,0 +1,40 @@
+// Package buildinfo reports the build's version and VCS revision, read from
+// the Go build metadata stamped into the binary. Both CLIs print it under
+// -version and the service serves it from /healthz, so a mixed-version fleet
+// — a coordinator and workers built from different commits — is diagnosable
+// from the outside instead of manifesting as silent protocol drift.
+package buildinfo
+
+import "runtime/debug"
+
+// Version renders the build identity as "<module version>+<revision>[-dirty]".
+// Binaries built outside a VCS checkout (and test binaries, which Go does not
+// stamp) report "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return v + "+" + rev + dirty
+	}
+	return v
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxResultBytes bounds a protocol request body. Result uploads dominate:
+// a shard's raw observations serialize to ~20 bytes per repetition, so 8 MiB
+// covers shards far larger than any sane lease.
+const maxResultBytes = 8 << 20
+
+// Mount registers the worker-facing protocol on mux. The patterns live under
+// /v1/cluster/, disjoint from the service API, so a coordinator process
+// serves both from one listener.
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/cluster/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/result", c.handleResult)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.register(req))
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	lease, err := c.grantLease(req.WorkerID)
+	if err != nil {
+		writeProtocolError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaseResponse{Lease: lease})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := c.heartbeat(req)
+	if err != nil {
+		writeProtocolError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := c.result(req)
+	if err != nil {
+		writeProtocolError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody reads and strictly decodes a protocol request body, answering
+// the request itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxResultBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return false
+	}
+	if len(body) > maxResultBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, errors.New("request body exceeds 8 MiB"))
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("trailing content after the request object"))
+		return false
+	}
+	return true
+}
+
+// writeProtocolError maps coordinator errors to statuses: an unknown worker
+// gets 404 (the signal to re-register), anything else 500.
+func writeProtocolError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errUnknownWorker) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+// writeJSON renders a response document, newline-terminated like the
+// service API's documents.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError renders {"error": ...} with the status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,320 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/service"
+)
+
+// testRun builds a BackendRun for a clique scenario.
+func testRun(t *testing.T, n, reps int, seed uint64) service.BackendRun {
+	t.Helper()
+	doc := `{"network":{"family":"clique","params":{"n":` + itoa(n) + `}}}`
+	sc, err := engine.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := engine.Canonical(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return service.BackendRun{Scenario: sc, Canonical: canonical, Reps: reps, Seed: seed}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// localResult runs the same ensemble on the single-node reference backend.
+func localResult(t *testing.T, run service.BackendRun) service.BackendResult {
+	t.Helper()
+	run.Workers = 4
+	res, err := service.LocalBackend{}.Run(context.Background(), run)
+	if err != nil {
+		t.Fatalf("local backend: %v", err)
+	}
+	return res
+}
+
+// mustMarshal snapshots a result's stream.
+func mustMarshal(t *testing.T, res service.BackendResult) []byte {
+	t.Helper()
+	b, err := res.Stream.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// startWorkers launches n workers against url and returns a stop function
+// that waits for them to exit.
+func startWorkers(t *testing.T, url string, n int) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		w := NewWorker(WorkerConfig{Coordinator: url, Name: "test-worker", CPUs: 2})
+		go func() {
+			defer func() { done <- struct{}{} }()
+			w.Run(ctx)
+		}()
+	}
+	return func() {
+		cancel()
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	}
+}
+
+// TestClusterMatchesLocal: a 2-worker distributed run produces a stream
+// byte-identical to the single-node reference backend, and the coordinator
+// observes every repetition exactly once.
+func TestClusterMatchesLocal(t *testing.T) {
+	coord := New(Config{LeaseTTL: 5 * time.Second, PollInterval: 5 * time.Millisecond, ShardSize: 7})
+	defer coord.Close()
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	stop := startWorkers(t, ts.URL, 2)
+	defer stop()
+
+	run := testRun(t, 48, 100, 42)
+	var observed atomic.Int64
+	run.Observe = func(delta int64) { observed.Add(delta) }
+	res, err := coord.Run(context.Background(), run)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	if got := observed.Load(); got != 100 {
+		t.Errorf("observed %d repetitions, want 100", got)
+	}
+
+	want := localResult(t, testRun(t, 48, 100, 42))
+	if res.Completed != want.Completed {
+		t.Errorf("completed = %d, want %d", res.Completed, want.Completed)
+	}
+	if !bytes.Equal(mustMarshal(t, res), mustMarshal(t, want)) {
+		t.Error("cluster stream differs from single-node stream")
+	}
+}
+
+// TestClusterLeaseExpiryReassignment kills a worker mid-run: a hand-driven
+// worker registers, leases the range at the merge frontier, heartbeats its
+// liveness but never its lease, and never uploads. The lease must expire,
+// return to the pool, and be re-executed by a live worker — and the merged
+// result must still be byte-identical to the single-node run. The dead
+// worker's late upload must be discarded as stale.
+func TestClusterLeaseExpiryReassignment(t *testing.T) {
+	const ttl = 300 * time.Millisecond
+	coord := New(Config{LeaseTTL: ttl, PollInterval: 5 * time.Millisecond, ShardSize: 25, Logf: t.Logf})
+	defer coord.Close()
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// The vanishing worker grabs the first shard before any live worker
+	// exists, so the merge frontier is deterministically blocked on it.
+	dead := coord.register(RegisterRequest{Name: "vanishing", CPUs: 1})
+
+	run := testRun(t, 48, 400, 7)
+	type outcome struct {
+		res service.BackendResult
+		err error
+	}
+	runDone := make(chan outcome, 1)
+	go func() {
+		res, err := coord.Run(context.Background(), run)
+		runDone <- outcome{res, err}
+	}()
+
+	var lease *Lease
+	for deadline := time.Now().Add(5 * time.Second); lease == nil; {
+		var err error
+		lease, err = coord.grantLease(dead.WorkerID)
+		if err != nil {
+			t.Fatalf("grant to vanishing worker: %v", err)
+		}
+		if lease == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("run never offered a lease")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if lease.Start != 0 {
+		t.Fatalf("vanishing worker leased [%d,%d), want the frontier shard [0,25)", lease.Start, lease.Start+lease.Count)
+	}
+
+	// Keep the worker's registration alive without renewing the lease, so
+	// the reclaim is a lease expiry, not a worker sweep, and the late
+	// upload exercises the stale path rather than 404.
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(ttl / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				coord.heartbeat(HeartbeatRequest{WorkerID: dead.WorkerID})
+			}
+		}
+	}()
+	defer func() { close(hbStop); <-hbDone }()
+
+	stop := startWorkers(t, ts.URL, 2)
+	defer stop()
+
+	var got outcome
+	select {
+	case got = <-runDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("distributed run did not finish")
+	}
+	if got.err != nil {
+		t.Fatalf("cluster run: %v", got.err)
+	}
+	if n := coord.ClusterStats().LeasesReassigned; n < 1 {
+		t.Errorf("leases_reassigned = %d, want >= 1", n)
+	}
+
+	want := localResult(t, testRun(t, 48, 400, 7))
+	if got.res.Completed != want.Completed {
+		t.Errorf("completed = %d, want %d", got.res.Completed, want.Completed)
+	}
+	if !bytes.Equal(mustMarshal(t, got.res), mustMarshal(t, want)) {
+		t.Error("stream after lease reassignment differs from single-node stream")
+	}
+
+	// The range was re-executed by someone else; the original lease is gone
+	// and the dead worker's upload must change nothing.
+	resp, err := coord.result(ResultRequest{WorkerID: dead.WorkerID, LeaseID: lease.ID, Values: make([]float64, lease.Count)})
+	if err != nil {
+		t.Fatalf("late upload: %v", err)
+	}
+	if !resp.Stale {
+		t.Error("late upload of a reclaimed lease was not reported stale")
+	}
+}
+
+// TestClusterFamilyGating: a worker restricted to another family is never
+// offered the run; an unrestricted worker is.
+func TestClusterFamilyGating(t *testing.T) {
+	coord := New(Config{LeaseTTL: 5 * time.Second, PollInterval: 5 * time.Millisecond, ShardSize: 10})
+	defer coord.Close()
+
+	gated := coord.register(RegisterRequest{Name: "gated", CPUs: 1, Families: []string{"gnrho"}})
+	open := coord.register(RegisterRequest{Name: "open", CPUs: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := coord.Run(ctx, testRun(t, 48, 10, 1))
+		runDone <- err
+	}()
+
+	// Wait until the run is offering leases at all...
+	var probe *Lease
+	for deadline := time.Now().Add(5 * time.Second); probe == nil; {
+		var err error
+		probe, err = coord.grantLease(open.WorkerID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probe == nil && time.Now().After(deadline) {
+			t.Fatal("run never offered a lease")
+		}
+	}
+	// ...then confirm the gated worker is still refused.
+	if l, err := coord.grantLease(gated.WorkerID); err != nil || l != nil {
+		t.Errorf("gated worker got lease %v, err %v; want none", l, err)
+	}
+	cancel()
+	if err := <-runDone; err == nil {
+		t.Error("cancelled run returned nil error")
+	}
+}
+
+// TestClusterIntegrityCheck: an upload whose stream snapshot does not match
+// its raw values fails the run loudly instead of poisoning the merge.
+func TestClusterIntegrityCheck(t *testing.T) {
+	coord := New(Config{LeaseTTL: 5 * time.Second, ShardSize: 100})
+	defer coord.Close()
+	w := coord.register(RegisterRequest{Name: "corrupt", CPUs: 1})
+
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := coord.Run(context.Background(), testRun(t, 48, 10, 1))
+		runDone <- err
+	}()
+	var lease *Lease
+	for deadline := time.Now().Add(5 * time.Second); lease == nil; {
+		var err error
+		lease, err = coord.grantLease(w.WorkerID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease == nil && time.Now().After(deadline) {
+			t.Fatal("run never offered a lease")
+		}
+	}
+	resp, err := coord.result(ResultRequest{
+		WorkerID:  w.WorkerID,
+		LeaseID:   lease.ID,
+		Values:    make([]float64, lease.Count),
+		Completed: lease.Count,
+		Stream:    []byte("not a snapshot"),
+	})
+	if err != nil || resp.Stale {
+		t.Fatalf("upload: resp %+v, err %v", resp, err)
+	}
+	runErr := <-runDone
+	if runErr == nil || !strings.Contains(runErr.Error(), "snapshot") {
+		t.Errorf("run error = %v, want a snapshot integrity failure", runErr)
+	}
+}
+
+// TestClusterUnknownWorker: protocol requests naming an unknown worker are
+// answered 404 — the re-register signal.
+func TestClusterUnknownWorker(t *testing.T) {
+	coord := New(Config{})
+	defer coord.Close()
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/cluster/lease", "application/json", strings.NewReader(`{"worker_id":"w999999"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("lease for unknown worker: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,512 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dynamicrumor/internal/service"
+	"dynamicrumor/internal/stats"
+)
+
+// Config carries the coordinator policy knobs. The zero value selects
+// defaults suitable for a LAN cluster.
+type Config struct {
+	// LeaseTTL is the lease validity window (<= 0 selects 15s). A worker that
+	// neither heartbeats nor uploads within it is presumed dead: its leases
+	// return to the pool and its registration is forgotten.
+	LeaseTTL time.Duration
+	// PollInterval is the idle polling cadence suggested to workers
+	// (<= 0 selects 500ms).
+	PollInterval time.Duration
+	// ShardSize is the repetition count per lease (<= 0 selects an automatic
+	// size: a batch of engine chunks large enough to amortize the HTTP round
+	// trip, see shardFor). Like every scheduling knob it never changes
+	// outputs — the merge is exact for any sharding.
+	ShardSize int
+	// Logf, when non-nil, receives coordinator lifecycle events (worker
+	// registration, lease reclaim, run settlement).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator shards ensemble runs across registered workers and merges
+// their partial results exactly. It implements service.Backend, so it plugs
+// into the rumord scheduler as a drop-in replacement for LocalBackend;
+// Mount exposes its worker-facing protocol. Create with New, stop with Close.
+type Coordinator struct {
+	ttl       time.Duration
+	poll      time.Duration
+	shardSize int
+	logf      func(format string, args ...any)
+
+	mu         sync.Mutex
+	workers    map[string]*workerState
+	runs       map[string]*clusterRun
+	runOrder   []string
+	leases     map[string]*lease
+	nextWorker int
+	nextRun    int
+	nextLease  int
+	reassigned int64
+	closed     bool
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// workerState is the registry record of one worker.
+type workerState struct {
+	id       string
+	name     string
+	cpus     int
+	families map[string]bool // empty means every family
+	lastSeen time.Time
+	leases   map[string]bool
+}
+
+// shard is a pending repetition range of a run.
+type shard struct {
+	start, count int
+}
+
+// clusterRun is one in-flight ensemble run.
+type clusterRun struct {
+	id        string
+	canonical []byte
+	family    string
+	seed      uint64
+	reps      int
+	observe   func(delta int64)
+
+	pending     []shard // sorted by start; lowest granted first
+	outstanding int     // leased shards not yet settled
+	merger      *stats.Merger
+	stream      *stats.Stream
+	completed   int
+	err         error
+	finished    bool
+	done        chan struct{}
+}
+
+// lease is the coordinator-side record of a granted range.
+type lease struct {
+	id       string
+	workerID string
+	run      *clusterRun
+	shard    shard
+	expires  time.Time
+}
+
+// errUnknownWorker marks requests from a worker the coordinator does not
+// know; the API layer maps it to 404 and the worker re-registers.
+var errUnknownWorker = errors.New("cluster: unknown worker")
+
+// New starts a coordinator (its lease-expiry sweeper runs until Close).
+func New(cfg Config) *Coordinator {
+	c := &Coordinator{
+		ttl:       cfg.LeaseTTL,
+		poll:      cfg.PollInterval,
+		shardSize: cfg.ShardSize,
+		logf:      cfg.Logf,
+		workers:   make(map[string]*workerState),
+		runs:      make(map[string]*clusterRun),
+		leases:    make(map[string]*lease),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	if c.ttl <= 0 {
+		c.ttl = 15 * time.Second
+	}
+	if c.poll <= 0 {
+		c.poll = 500 * time.Millisecond
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	go c.sweep()
+	return c
+}
+
+// Close stops the expiry sweeper. In-flight Run calls are settled by their
+// contexts (the service cancels them on shutdown), not by Close.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.sweepStop)
+	<-c.sweepDone
+}
+
+// shardFor decides the repetitions per lease: the explicit size when set,
+// otherwise about 64 shards per run — enough slices that any worker fleet
+// load-balances and a reclaimed lease forfeits little work — floored at 16
+// repetitions so one HTTP round trip carries meaningful work. Deliberately
+// independent of the coordinator's own CPU count: workers join dynamically,
+// so the run is sliced for a fleet, not for this host. A pure throughput
+// knob — the merge is exact for any value.
+func shardFor(shardSize, reps int) int {
+	if shardSize > 0 {
+		return shardSize
+	}
+	s := (reps + 63) / 64
+	if s < 16 {
+		s = 16
+	}
+	if s > reps {
+		s = reps
+	}
+	return s
+}
+
+// Run implements service.Backend: it shards the run, waits for workers to
+// execute every range, and returns the exactly merged result. The summary
+// depends only on (canonical scenario, seed, reps) — never on which workers
+// ran which ranges or how many leases were reclaimed and re-executed.
+func (c *Coordinator) Run(ctx context.Context, run service.BackendRun) (service.BackendResult, error) {
+	if run.Reps < 1 {
+		return service.BackendResult{}, fmt.Errorf("cluster: reps must be >= 1, got %d", run.Reps)
+	}
+	if len(run.Canonical) == 0 {
+		return service.BackendResult{}, errors.New("cluster: run has no canonical scenario")
+	}
+	r := &clusterRun{
+		canonical: run.Canonical,
+		family:    run.Scenario.Network.Family,
+		seed:      run.Seed,
+		reps:      run.Reps,
+		observe:   run.Observe,
+		stream:    service.NewSummaryStream(),
+		done:      make(chan struct{}),
+	}
+	r.merger = stats.NewMerger(r.stream)
+	size := shardFor(c.shardSize, run.Reps)
+	for start := 0; start < run.Reps; start += size {
+		n := size
+		if start+n > run.Reps {
+			n = run.Reps - start
+		}
+		r.pending = append(r.pending, shard{start: start, count: n})
+	}
+	shards := len(r.pending)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return service.BackendResult{}, errors.New("cluster: coordinator is closed")
+	}
+	c.nextRun++
+	r.id = fmt.Sprintf("r%06d", c.nextRun)
+	c.runs[r.id] = r
+	c.runOrder = append(c.runOrder, r.id)
+	c.mu.Unlock()
+	c.logf("cluster: run %s: %d reps in %d shards of <=%d", r.id, run.Reps, shards, size)
+
+	select {
+	case <-ctx.Done():
+		c.abandonRun(r)
+		return service.BackendResult{}, ctx.Err()
+	case <-r.done:
+		if r.err != nil {
+			return service.BackendResult{}, r.err
+		}
+		return service.BackendResult{Completed: r.completed, Stream: r.stream}, nil
+	}
+}
+
+// abandonRun withdraws a cancelled run: pending shards are dropped and its
+// outstanding leases revoked, so late uploads settle as stale.
+func (c *Coordinator) abandonRun(r *clusterRun) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.finished {
+		return
+	}
+	r.finished = true
+	c.removeRunLocked(r)
+	c.logf("cluster: run %s: abandoned", r.id)
+}
+
+// removeRunLocked unregisters a settled run and revokes its leases.
+// Callers hold the mutex and have set r.finished.
+func (c *Coordinator) removeRunLocked(r *clusterRun) {
+	delete(c.runs, r.id)
+	for i, id := range c.runOrder {
+		if id == r.id {
+			c.runOrder = append(c.runOrder[:i], c.runOrder[i+1:]...)
+			break
+		}
+	}
+	for id, l := range c.leases {
+		if l.run == r {
+			delete(c.leases, id)
+			if w, ok := c.workers[l.workerID]; ok {
+				delete(w.leases, id)
+			}
+		}
+	}
+	r.pending = nil
+	r.outstanding = 0
+}
+
+// failRunLocked settles a run with an error. Callers hold the mutex.
+func (c *Coordinator) failRunLocked(r *clusterRun, err error) {
+	if r.finished {
+		return
+	}
+	r.err = err
+	r.finished = true
+	c.removeRunLocked(r)
+	close(r.done)
+	c.logf("cluster: run %s: failed: %v", r.id, err)
+}
+
+// register adds a worker to the registry.
+func (c *Coordinator) register(req RegisterRequest) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWorker++
+	w := &workerState{
+		id:       fmt.Sprintf("w%06d", c.nextWorker),
+		name:     req.Name,
+		cpus:     req.CPUs,
+		lastSeen: time.Now(),
+		leases:   make(map[string]bool),
+	}
+	if len(req.Families) > 0 {
+		w.families = make(map[string]bool, len(req.Families))
+		for _, f := range req.Families {
+			w.families[f] = true
+		}
+	}
+	c.workers[w.id] = w
+	c.logf("cluster: worker %s registered (name %q, cpus %d, families %d)", w.id, req.Name, req.CPUs, len(req.Families))
+	return RegisterResponse{
+		WorkerID:       w.id,
+		LeaseTTLMillis: c.ttl.Milliseconds(),
+		PollMillis:     c.poll.Milliseconds(),
+	}
+}
+
+// grantLease hands the worker the lowest-start pending shard of the oldest
+// compatible run. Granting lowest start first keeps uploads near the merge
+// frontier, bounding the merger's buffer of ahead-of-frontier chunks.
+func (c *Coordinator) grantLease(workerID string) (*Lease, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return nil, errUnknownWorker
+	}
+	now := time.Now()
+	w.lastSeen = now
+	for _, runID := range c.runOrder {
+		r := c.runs[runID]
+		if len(r.pending) == 0 {
+			continue
+		}
+		if w.families != nil && !w.families[r.family] {
+			continue
+		}
+		sh := r.pending[0]
+		r.pending = r.pending[1:]
+		r.outstanding++
+		c.nextLease++
+		l := &lease{
+			id:       fmt.Sprintf("l%08d", c.nextLease),
+			workerID: workerID,
+			run:      r,
+			shard:    sh,
+			expires:  now.Add(c.ttl),
+		}
+		c.leases[l.id] = l
+		w.leases[l.id] = true
+		return &Lease{
+			ID:       l.id,
+			Run:      r.id,
+			Scenario: r.canonical,
+			Seed:     r.seed,
+			Start:    sh.start,
+			Count:    sh.count,
+		}, nil
+	}
+	return nil, nil
+}
+
+// heartbeat renews the worker and the leases it reports holding, and tells
+// it which reported leases are no longer its to execute.
+func (c *Coordinator) heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.WorkerID]
+	if !ok {
+		return HeartbeatResponse{}, errUnknownWorker
+	}
+	now := time.Now()
+	w.lastSeen = now
+	var resp HeartbeatResponse
+	for _, id := range req.LeaseIDs {
+		if l, ok := c.leases[id]; ok && l.workerID == req.WorkerID {
+			l.expires = now.Add(c.ttl)
+			continue
+		}
+		resp.Expired = append(resp.Expired, id)
+	}
+	return resp, nil
+}
+
+// result settles one uploaded range. Stale uploads — the lease was reclaimed
+// or its run already settled — are acknowledged and discarded, which is what
+// makes duplicate execution after a reclaim harmless.
+func (c *Coordinator) result(req ResultRequest) (ResultResponse, error) {
+	var notify func()
+	c.mu.Lock()
+	w, ok := c.workers[req.WorkerID]
+	if !ok {
+		c.mu.Unlock()
+		return ResultResponse{}, errUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	l, ok := c.leases[req.LeaseID]
+	if !ok || l.workerID != req.WorkerID {
+		c.mu.Unlock()
+		return ResultResponse{Stale: true}, nil
+	}
+	delete(c.leases, l.id)
+	delete(w.leases, l.id)
+	r := l.run
+	r.outstanding--
+	switch err := c.settleUploadLocked(r, l, req); {
+	case err != nil:
+		c.failRunLocked(r, err)
+	default:
+		if r.observe != nil {
+			delta := int64(l.shard.count)
+			observe := r.observe
+			notify = func() { observe(delta) }
+		}
+		if r.merger.Next() == r.reps {
+			r.finished = true
+			c.removeRunLocked(r)
+			close(r.done)
+			c.logf("cluster: run %s: complete (%d reps)", r.id, r.reps)
+		}
+	}
+	c.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return ResultResponse{}, nil
+}
+
+// settleUploadLocked validates one upload and folds it into the run's
+// merger. Any validation failure is a protocol or integrity violation and
+// fails the whole run — silently resampling a corrupted range would break
+// the byte-identity contract. Callers hold the mutex.
+func (c *Coordinator) settleUploadLocked(r *clusterRun, l *lease, req ResultRequest) error {
+	if req.Error != "" {
+		return fmt.Errorf("cluster: worker %s failed range [%d,%d): %s", req.WorkerID, l.shard.start, l.shard.start+l.shard.count, req.Error)
+	}
+	if len(req.Values) != l.shard.count {
+		return fmt.Errorf("cluster: worker %s uploaded %d values for range [%d,%d)", req.WorkerID, len(req.Values), l.shard.start, l.shard.start+l.shard.count)
+	}
+	if req.Completed < 0 || req.Completed > l.shard.count {
+		return fmt.Errorf("cluster: worker %s reported %d completions for a %d-rep range", req.WorkerID, req.Completed, l.shard.count)
+	}
+	// Integrity cross-check: replaying the raw values must reproduce the
+	// worker's own stream snapshot bit for bit. A mismatch means the
+	// observations were corrupted in flight (or the worker's accumulator
+	// diverged), either of which would silently poison the exact merge.
+	check := service.NewSummaryStream()
+	for _, v := range req.Values {
+		check.Add(v)
+	}
+	want, err := check.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot check: %w", err)
+	}
+	if !bytes.Equal(want, req.Stream) {
+		return fmt.Errorf("cluster: worker %s: range [%d,%d) snapshot does not match its values", req.WorkerID, l.shard.start, l.shard.start+l.shard.count)
+	}
+	if err := r.merger.Add(stats.Chunk{Start: l.shard.start, Values: req.Values}); err != nil {
+		return err
+	}
+	r.completed += req.Completed
+	return nil
+}
+
+// sweep is the expiry loop: four times per TTL it reclaims leases whose
+// window lapsed and forgets workers that went silent. Reclaimed shards
+// return to their run's pending pool in start order, so a reassigned range
+// is re-executed deterministically by whoever claims it next.
+func (c *Coordinator) sweep() {
+	defer close(c.sweepDone)
+	tick := time.NewTicker(c.ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case <-tick.C:
+			c.sweepOnce(time.Now())
+		}
+	}
+}
+
+// sweepOnce performs one expiry pass.
+func (c *Coordinator) sweepOnce(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(c.leases, id)
+		if w, ok := c.workers[l.workerID]; ok {
+			delete(w.leases, id)
+		}
+		l.run.outstanding--
+		c.requeueShardLocked(l.run, l.shard)
+		c.reassigned++
+		c.logf("cluster: lease %s expired on worker %s; range [%d,%d) of run %s returned to pool",
+			id, l.workerID, l.shard.start, l.shard.start+l.shard.count, l.run.id)
+	}
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.ttl {
+			continue
+		}
+		delete(c.workers, id)
+		c.logf("cluster: worker %s (name %q) presumed dead after %v silence", id, w.name, c.ttl)
+	}
+}
+
+// requeueShardLocked reinserts a reclaimed shard into the run's pending
+// pool, keeping it sorted by start. Callers hold the mutex.
+func (c *Coordinator) requeueShardLocked(r *clusterRun, sh shard) {
+	if r.finished {
+		return
+	}
+	i := sort.Search(len(r.pending), func(i int) bool { return r.pending[i].start >= sh.start })
+	r.pending = append(r.pending, shard{})
+	copy(r.pending[i+1:], r.pending[i:])
+	r.pending[i] = sh
+}
+
+// ClusterStats exports the coordinator gauges into the service /metrics
+// document (the service discovers this method by interface assertion).
+func (c *Coordinator) ClusterStats() service.ClusterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return service.ClusterStats{
+		Workers:           len(c.workers),
+		LeasesOutstanding: len(c.leases),
+		LeasesReassigned:  c.reassigned,
+	}
+}

@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/runner"
+	"dynamicrumor/internal/service"
+	"dynamicrumor/internal/sim"
+)
+
+// WorkerConfig configures a cluster worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// Name optionally labels the worker in coordinator logs.
+	Name string
+	// CPUs is the engine parallelism within a lease (<= 0 selects
+	// GOMAXPROCS). Announced to the coordinator as the worker's CPU budget.
+	CPUs int
+	// Families restricts the worker to the named network families; nil
+	// announces support for every family.
+	Families []string
+	// Client overrides the HTTP client (nil selects one with a 30s timeout).
+	Client *http.Client
+	// Logf, when non-nil, receives worker lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+// Worker executes leased repetition ranges for a coordinator. Create with
+// NewWorker and drive with Run; the worker registers itself, heartbeats, and
+// re-registers transparently if the coordinator forgets it.
+type Worker struct {
+	base     string
+	name     string
+	cpus     int
+	families []string
+	client   *http.Client
+	logf     func(format string, args ...any)
+
+	mu   sync.Mutex
+	id   string
+	ttl  time.Duration
+	poll time.Duration
+	held map[string]context.CancelFunc // lease ID -> abandon
+}
+
+// NewWorker returns an unstarted worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	w := &Worker{
+		base:     cfg.Coordinator,
+		name:     cfg.Name,
+		cpus:     runner.Parallelism(cfg.CPUs),
+		families: cfg.Families,
+		client:   cfg.Client,
+		logf:     cfg.Logf,
+		held:     make(map[string]context.CancelFunc),
+	}
+	if w.client == nil {
+		w.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+	return w
+}
+
+// errStaleWorker marks a 404 from the coordinator: the registration lapsed
+// (or never happened) and the worker must register again.
+var errStaleWorker = errors.New("cluster: coordinator does not know this worker")
+
+// Run is the worker loop: register, heartbeat in the background, and
+// poll-execute-upload leases until ctx is cancelled. It returns ctx.Err()
+// on cancellation; transient coordinator failures are retried with backoff,
+// never surfaced.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		w.heartbeatLoop(hbCtx)
+	}()
+	defer hbDone.Wait()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.requestLease(ctx)
+		switch {
+		case errors.Is(err, errStaleWorker):
+			if err := w.register(ctx); err != nil {
+				return err
+			}
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("worker: lease request failed: %v", err)
+			if !sleep(ctx, w.pollInterval()) {
+				return ctx.Err()
+			}
+			continue
+		case lease == nil:
+			if !sleep(ctx, w.pollInterval()) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.execute(ctx, lease)
+	}
+}
+
+// register announces the worker, retrying with backoff until it succeeds or
+// ctx is cancelled.
+func (w *Worker) register(ctx context.Context) error {
+	delay := 100 * time.Millisecond
+	for {
+		var resp RegisterResponse
+		err := w.post(ctx, "/v1/cluster/register", RegisterRequest{
+			Name:     w.name,
+			CPUs:     w.cpus,
+			Families: w.families,
+		}, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.id = resp.WorkerID
+			w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+			w.poll = time.Duration(resp.PollMillis) * time.Millisecond
+			w.mu.Unlock()
+			w.logf("worker: registered as %s (lease ttl %dms)", resp.WorkerID, resp.LeaseTTLMillis)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.logf("worker: register failed: %v", err)
+		if !sleep(ctx, delay) {
+			return ctx.Err()
+		}
+		if delay < 5*time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// heartbeatLoop renews the registration and held leases at a third of the
+// TTL. A 404 means the coordinator forgot us; the main loop discovers that
+// on its next request and re-registers, so here it is only logged. Leases
+// the coordinator reports expired are abandoned immediately.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		interval := w.leaseTTL() / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		if !sleep(ctx, interval) {
+			return
+		}
+		id, leaseIDs := w.snapshot()
+		if id == "" {
+			continue
+		}
+		var resp HeartbeatResponse
+		err := w.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{WorkerID: id, LeaseIDs: leaseIDs}, &resp)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.logf("worker: heartbeat failed: %v", err)
+			}
+			continue
+		}
+		for _, leaseID := range resp.Expired {
+			w.abandon(leaseID)
+		}
+	}
+}
+
+// execute runs one lease on the local engine and uploads the result. The
+// repetition range reproduces exactly the streams a single-node run would
+// have drawn for those indices, so the uploaded observations are
+// bit-identical to that run's slice.
+func (w *Worker) execute(ctx context.Context, lease *Lease) {
+	leaseCtx, cancel := context.WithCancel(ctx)
+	w.mu.Lock()
+	w.held[lease.ID] = cancel
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.held, lease.ID)
+		w.mu.Unlock()
+		cancel()
+	}()
+
+	result := ResultRequest{LeaseID: lease.ID}
+	values, completed, err := w.executeRange(leaseCtx, lease)
+	switch {
+	case err != nil && leaseCtx.Err() != nil && ctx.Err() == nil:
+		// The lease was abandoned (coordinator reported it expired): the
+		// range is someone else's now; uploading would only be discarded.
+		w.logf("worker: lease %s abandoned mid-range", lease.ID)
+		return
+	case err != nil && ctx.Err() != nil:
+		return
+	case err != nil:
+		result.Error = err.Error()
+	default:
+		snapshot := service.NewSummaryStream()
+		for _, v := range values {
+			snapshot.Add(v)
+		}
+		blob, merr := snapshot.MarshalBinary()
+		if merr != nil {
+			result.Error = merr.Error()
+		} else {
+			result.Values = values
+			result.Completed = completed
+			result.Stream = blob
+		}
+	}
+	w.upload(ctx, result)
+}
+
+// executeRange runs the lease's repetition range, collecting the raw
+// spread-time observations in repetition order.
+func (w *Worker) executeRange(ctx context.Context, lease *Lease) ([]float64, int, error) {
+	sc, err := engine.Parse(lease.Scenario)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng := engine.Engine{Parallelism: w.cpus, Seed: lease.Seed}
+	values := make([]float64, 0, lease.Count)
+	completed := 0
+	err = eng.RunReduceRangeCtx(ctx, sc, lease.Start, lease.Count, func(rep int, res *sim.Result) error {
+		values = append(values, res.SpreadTime)
+		if res.Completed {
+			completed++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return values, completed, nil
+}
+
+// upload posts a result with retries; a stale acknowledgement or a lapsed
+// registration just drops the result — the coordinator has already
+// rearranged the work.
+func (w *Worker) upload(ctx context.Context, result ResultRequest) {
+	delay := 100 * time.Millisecond
+	for attempt := 0; attempt < 4; attempt++ {
+		result.WorkerID = w.workerID()
+		var resp ResultResponse
+		err := w.post(ctx, "/v1/cluster/result", result, &resp)
+		switch {
+		case errors.Is(err, errStaleWorker):
+			w.logf("worker: registration lapsed; dropping lease %s result", result.LeaseID)
+			return
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			w.logf("worker: upload of lease %s failed: %v", result.LeaseID, err)
+			if !sleep(ctx, delay) {
+				return
+			}
+			delay *= 2
+			continue
+		case resp.Stale:
+			w.logf("worker: lease %s result was stale", result.LeaseID)
+			return
+		default:
+			return
+		}
+	}
+	w.logf("worker: giving up on lease %s result", result.LeaseID)
+}
+
+// requestLease polls the coordinator for work.
+func (w *Worker) requestLease(ctx context.Context) (*Lease, error) {
+	var resp LeaseResponse
+	if err := w.post(ctx, "/v1/cluster/lease", LeaseRequest{WorkerID: w.workerID()}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Lease, nil
+}
+
+// abandon cancels a held lease's execution.
+func (w *Worker) abandon(leaseID string) {
+	w.mu.Lock()
+	cancel, ok := w.held[leaseID]
+	w.mu.Unlock()
+	if ok {
+		w.logf("worker: abandoning expired lease %s", leaseID)
+		cancel()
+	}
+}
+
+// snapshot reads the worker's identity and held lease IDs.
+func (w *Worker) snapshot() (string, []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids := make([]string, 0, len(w.held))
+	for id := range w.held {
+		ids = append(ids, id)
+	}
+	return w.id, ids
+}
+
+func (w *Worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+func (w *Worker) leaseTTL() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ttl
+}
+
+func (w *Worker) pollInterval() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.poll <= 0 {
+		return 500 * time.Millisecond
+	}
+	return w.poll
+}
+
+// post sends one protocol request and decodes the response into out.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return errStaleWorker
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("cluster: %s: %s (status %d)", path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("cluster: %s: status %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// sleep waits for d or ctx, reporting whether the full duration elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -156,6 +156,42 @@ func (e Engine) RunReduceFrom(ctx context.Context, sc Scenario, reps int, base *
 		runner.Reducer[*sim.Result](reduce))
 }
 
+// RunReduceRangeCtx executes only the repetition range [start, start+count)
+// of a larger ensemble: the reducer receives global repetition indices, and
+// repetition i's result is bit-identical to what RunReduceCtx would have
+// handed the reducer for repetition i of a full run with the same seed. This
+// is the shard-execution entry point of the distributed service
+// (internal/cluster): a worker needs nothing but (scenario, seed, start,
+// count) to reproduce its slice of the ensemble exactly, so shards can be
+// re-executed on any node — after a worker death, say — without changing the
+// merged result.
+func (e Engine) RunReduceRangeCtx(ctx context.Context, sc Scenario, start, count int, reduce Reducer) error {
+	cs, err := compileScenario(sc)
+	if err != nil {
+		return err
+	}
+	if start < 0 {
+		return fmt.Errorf("engine: range start must be >= 0, got %d", start)
+	}
+	if count < 1 {
+		return fmt.Errorf("engine: range count must be >= 1, got %d", count)
+	}
+	ringSize := runner.ChunkFor(e.ChunkSize, count, e.Parallelism)
+	return runner.MapReduceRangeOpts(ctx, runner.Options{Parallelism: e.Parallelism, ChunkSize: e.ChunkSize}, start, count, xrand.New(e.Seed), newWorkerState,
+		func(rep int, sub *xrand.RNG, ws *workerState) (*sim.Result, error) {
+			if ws.resRing == nil {
+				ws.resRing = make([]sim.Result, ringSize)
+			}
+			res := &ws.resRing[ws.resCur]
+			ws.resCur++
+			if ws.resCur == len(ws.resRing) {
+				ws.resCur = 0
+			}
+			return cs.runRep(sub, ws, res)
+		},
+		runner.Reducer[*sim.Result](reduce))
+}
+
 // compiledScenario is a scenario compiled for a batch: the validation and
 // every piece of per-batch work is done once, and the per-repetition job is
 // reduced to (derive streams, obtain network, run protocol). Exactly one of

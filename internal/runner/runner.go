@@ -134,9 +134,14 @@ func Streams(base *xrand.RNG, reps int) []*xrand.RNG {
 // aborted or once the run's context is cancelled; because claims are
 // sequential, the set of claimed repetitions is always a prefix [0, k).
 type streamSource struct {
-	ctx     context.Context
-	mu      sync.Mutex
-	base    *xrand.RNG
+	ctx  context.Context
+	mu   sync.Mutex
+	base *xrand.RNG
+	// first is the global index of the source's first repetition: the source
+	// hands out [first, first+reps) with stream labels derived from the global
+	// index, so a range executor (MapReduceRangeOpts) produces exactly the
+	// streams a full run would give those repetitions. Whole runs use first 0.
+	first   int
 	next    int
 	reps    int
 	aborted bool
@@ -158,7 +163,7 @@ func (s *streamSource) claim(dst *xrand.RNG) (rep int, ok bool) {
 		s.mu.Unlock()
 		return 0, false
 	}
-	rep = s.next
+	rep = s.first + s.next
 	s.next++
 	s.base.SplitInto(uint64(rep)+1, dst)
 	s.mu.Unlock()
@@ -185,7 +190,7 @@ func (s *streamSource) claimChunk(dst []xrand.RNG) (start, count int) {
 		s.mu.Unlock()
 		return 0, 0
 	}
-	start = s.next
+	start = s.first + s.next
 	count = len(dst)
 	if rem := s.reps - s.next; count > rem {
 		count = rem
@@ -400,10 +405,47 @@ func MapReduce[T, L any](ctx context.Context, parallelism, reps int, base *xrand
 // exactly; larger chunks amortize both the claim lock and the condvar
 // handoff without changing what the reducer observes.
 func MapReduceOpts[T, L any](ctx context.Context, opts Options, reps int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
+	return mapReduceRange(ctx, opts, 0, reps, base, newLocal, fn, reduce)
+}
+
+// MapReduceRange executes the repetition range [start, start+count) of a
+// larger deterministic sequence: fn and reduce receive global repetition
+// indices, and every repetition gets exactly the RNG stream it would have
+// received in a full MapReduce over the whole sequence — which is what lets a
+// distributed run shard [0, reps) into ranges, execute them on independent
+// processes from nothing but (seed, start, count), and merge the partial
+// results into a bit-identical whole (see internal/cluster).
+//
+// base must be a fresh generator seeded with the run seed; the call advances
+// it past the start earlier repetitions first (one Uint64 draw each, the
+// exact prefix a full run would have consumed) and then claims the range, so
+// base ends advanced start+count draws. Within the range the semantics are
+// MapReduce's: strict rep-order reduction, deterministic lowest-rep errors,
+// cancellation at chunk boundaries.
+func MapReduceRange[T, L any](ctx context.Context, parallelism, start, count int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
+	return MapReduceRangeOpts(ctx, Options{Parallelism: parallelism}, start, count, base, newLocal, fn, reduce)
+}
+
+// MapReduceRangeOpts is MapReduceRange with full Options control.
+func MapReduceRangeOpts[T, L any](ctx context.Context, opts Options, start, count int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
+	if start < 0 {
+		return fmt.Errorf("runner: negative range start %d", start)
+	}
+	for i := 0; i < start; i++ {
+		base.Uint64()
+	}
+	return mapReduceRange(ctx, opts, start, count, base, newLocal, fn, reduce)
+}
+
+// mapReduceRange is the shared MapReduce core: repetitions [first,
+// first+count) with globally-labeled streams, base already positioned at the
+// range's first draw.
+func mapReduceRange[T, L any](ctx context.Context, opts Options, first, count int, base *xrand.RNG, newLocal func() L, fn LocalJob[T, L], reduce Reducer[T]) error {
+	reps := count
 	if reps <= 0 {
 		return nil
 	}
-	src := &streamSource{ctx: ctx, base: base, reps: reps}
+	src := &streamSource{ctx: ctx, base: base, first: first, reps: reps}
 
 	workers := Parallelism(opts.Parallelism)
 	if workers > reps {
@@ -437,7 +479,7 @@ func MapReduceOpts[T, L any](ctx context.Context, opts Options, reps int, base *
 	var (
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
-		turn     int
+		turn     = first
 		firstErr error
 	)
 	// takeTurn reduces one claimed chunk [start, start+count): vals[0..n) are

@@ -173,11 +173,27 @@ func (s *Service) handleFamilies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, FamiliesResponse{Families: engine.FamilyInfos()})
 }
 
-func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// HealthResponse is the body of GET /healthz. Version identifies the build
+// (module version + VCS revision), so a mixed-version fleet is diagnosable
+// by probing each node's /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
 }
 
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: s.version})
+}
+
+// handleMetrics negotiates the representation: JSON by default (and whenever
+// the client asks for it), Prometheus text exposition when the Accept header
+// prefers text/plain or OpenMetrics — which is exactly what a Prometheus
+// scraper sends — so the same endpoint serves both humans and collectors.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		s.writePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics())
 }
 

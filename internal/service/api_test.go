@@ -30,6 +30,11 @@ func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	if cfg.Clock == nil {
 		cfg.Clock = testClock
 	}
+	// Pin the build identity: test binaries carry no VCS stamp, and the
+	// goldens must be byte-stable across environments.
+	if cfg.Version == "" {
+		cfg.Version = "test"
+	}
 	svc := New(cfg)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {

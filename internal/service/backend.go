@@ -1,0 +1,81 @@
+package service
+
+import (
+	"context"
+
+	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/stats"
+)
+
+// NewSummaryStream returns the stream every run summary is folded into: the
+// exact Welford aggregates plus P² estimates for the median and 0.9-quantile.
+// Every backend must fold into a stream with these levels — the summary
+// document's byte-identity across backends depends on identical accumulator
+// shapes — so the constructor is exported for the cluster coordinator and
+// its workers.
+func NewSummaryStream() *stats.Stream { return stats.NewStream(0.5, 0.9) }
+
+// BackendRun describes one ensemble run for a Backend.
+type BackendRun struct {
+	// Scenario is the parsed scenario; Canonical its canonical encoding (the
+	// form a distributed backend ships to workers, so every node executes the
+	// same normalized document the cache key was derived from).
+	Scenario  engine.Scenario
+	Canonical []byte
+	// Reps and Seed are the ensemble inputs.
+	Reps int
+	Seed uint64
+	// Workers is the job's grant from the service's local worker budget.
+	// Backends that execute elsewhere (the cluster coordinator) may ignore it.
+	Workers int
+	// Observe, when non-nil, is called with repetition-count deltas as
+	// repetitions finish, feeding the job's progress counters. It must be safe
+	// to call from any goroutine.
+	Observe func(delta int64)
+}
+
+// BackendResult is a completed run: the completion count and the folded
+// per-repetition spread-time stream (a NewSummaryStream that received every
+// repetition's observation in repetition order).
+type BackendResult struct {
+	Completed int
+	Stream    *stats.Stream
+}
+
+// Backend executes ensemble runs for the scheduler. The contract every
+// implementation must honor is the engine's determinism extended across
+// execution topology: equal (canonical scenario, seed, reps) produce
+// bit-identical BackendResults — and therefore byte-identical summary
+// documents — whether the repetitions ran on one goroutine, a local worker
+// pool, or a fleet of remote processes. Run must respect ctx: cancellation
+// settles the run with ctx.Err() at the backend's earliest safe boundary.
+type Backend interface {
+	Run(ctx context.Context, run BackendRun) (BackendResult, error)
+}
+
+// LocalBackend executes runs in-process on the batch engine — the single-node
+// deployment, and the reference any distributed backend is measured against
+// byte for byte.
+type LocalBackend struct{}
+
+// Run executes the repetitions on Workers engine goroutines.
+func (LocalBackend) Run(ctx context.Context, run BackendRun) (BackendResult, error) {
+	eng := engine.Engine{Parallelism: run.Workers, Seed: run.Seed}
+	stream := NewSummaryStream()
+	completed := 0
+	err := eng.RunReduceCtx(ctx, run.Scenario, run.Reps, func(rep int, res *sim.Result) error {
+		stream.Add(res.SpreadTime)
+		if res.Completed {
+			completed++
+		}
+		if run.Observe != nil {
+			run.Observe(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return BackendResult{}, err
+	}
+	return BackendResult{Completed: completed, Stream: stream}, nil
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition of the service metrics (ROADMAP item 5).
+// Rendered by hand against the text format spec — the module deliberately
+// carries no client library dependency — and kept in lockstep with the JSON
+// Metrics document: both are views of the same snapshot.
+
+// wantsPrometheus decides the /metrics representation from the Accept
+// header: a client that asks for text/plain or OpenMetrics without also
+// preferring JSON gets the exposition format. Prometheus scrapers send
+// "text/plain;version=0.0.4" (older) or "application/openmetrics-text";
+// curl's default "*/*" and absent headers keep the JSON document.
+func wantsPrometheus(accept string) bool {
+	a := strings.ToLower(accept)
+	if strings.Contains(a, "application/json") {
+		return false
+	}
+	return strings.Contains(a, "text/plain") || strings.Contains(a, "openmetrics")
+}
+
+// promContentType is the exposition format version we emit.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// writePrometheus renders the metrics snapshot in exposition format.
+func (s *Service) writePrometheus(w http.ResponseWriter) {
+	m := s.metrics()
+	var b strings.Builder
+
+	gauge := func(name, help string, value string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, value)
+	}
+	counter := func(name, help string, value string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, value)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+
+	fmt.Fprintf(&b, "# HELP rumord_build_info Build identity of the serving binary.\n"+
+		"# TYPE rumord_build_info gauge\nrumord_build_info{version=%q} 1\n", s.version)
+
+	fmt.Fprintf(&b, "# HELP rumord_jobs Jobs by lifecycle state.\n# TYPE rumord_jobs gauge\n")
+	for _, st := range []struct {
+		label string
+		n     int
+	}{
+		{"queued", m.Jobs.Queued},
+		{"running", m.Jobs.Running},
+		{"done", m.Jobs.Done},
+		{"failed", m.Jobs.Failed},
+		{"cancelled", m.Jobs.Cancelled},
+	} {
+		fmt.Fprintf(&b, "rumord_jobs{state=%q} %d\n", st.label, st.n)
+	}
+
+	counter("rumord_cache_hits_total", "Submissions answered from the result cache.", i(m.Cache.Hits))
+	counter("rumord_cache_misses_total", "Submissions that had to execute.", i(m.Cache.Misses))
+	counter("rumord_cache_coalesced_total", "Submissions deduplicated onto an identical in-flight run.", i(m.Cache.Coalesced))
+	gauge("rumord_cache_entries", "Result cache entries resident.", i(int64(m.Cache.Entries)))
+
+	gauge("rumord_budget_workers_total", "Engine worker goroutines in the shared budget.", i(int64(m.Budget.Total)))
+	gauge("rumord_budget_workers_in_use", "Engine worker goroutines currently granted to jobs.", i(int64(m.Budget.InUse)))
+
+	counter("rumord_reps_done_total", "Repetitions reduced, cancelled jobs included.", i(m.Throughput.RepsDone))
+	counter("rumord_reps_finished_total", "Repetitions of jobs that ran to completion.", i(m.Throughput.FinishedReps))
+	counter("rumord_busy_seconds_total", "Wall-clock seconds jobs spent running to completion.", f(m.Throughput.BusySeconds))
+
+	if m.Cluster != nil {
+		gauge("rumord_cluster_workers", "Registered, live cluster worker processes.", i(int64(m.Cluster.Workers)))
+		gauge("rumord_cluster_leases_outstanding", "Rep-range leases currently held by workers.", i(int64(m.Cluster.LeasesOutstanding)))
+		counter("rumord_cluster_leases_reassigned_total", "Leases reclaimed from dead workers and returned to the pool.", i(m.Cluster.LeasesReassigned))
+	}
+
+	w.Header().Set("Content-Type", promContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestWantsPrometheus pins the content-negotiation rule.
+func TestWantsPrometheus(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"*/*", false},
+		{"application/json", false},
+		{"application/json, text/plain", false}, // explicit JSON wins
+		{"text/plain", true},
+		{"text/plain;version=0.0.4;q=0.5,*/*;q=0.1", true}, // a Prometheus scraper
+		{"application/openmetrics-text; version=1.0.0", true},
+	}
+	for _, c := range cases {
+		if got := wantsPrometheus(c.accept); got != c.want {
+			t.Errorf("wantsPrometheus(%q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+}
+
+// TestMetricsPrometheusText: a text/plain scrape of /metrics serves the
+// exposition format with the service's gauges and counters; the default
+// representation stays JSON.
+func TestMetricsPrometheusText(t *testing.T) {
+	_, ts := newTestServer(t, Config{Budget: 2})
+
+	status, body := do(t, http.MethodPost, ts.URL+"/v1/runs", submitBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %s", status, body)
+	}
+	waitState(t, ts.URL, decodeJob(t, body).ID, StateDone)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus scrape served Content-Type %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	text := string(buf[:n])
+	for _, want := range []string{
+		`rumord_build_info{version="test"} 1`,
+		`rumord_jobs{state="done"} 1`,
+		"# TYPE rumord_cache_hits_total counter",
+		"rumord_cache_misses_total 1",
+		"rumord_budget_workers_total 2",
+		"rumord_reps_done_total 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition output lacks %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "rumord_cluster_") {
+		t.Error("local backend exported cluster gauges")
+	}
+
+	// No Accept header: the JSON document, unchanged.
+	_, jsonBody := do(t, http.MethodGet, ts.URL+"/metrics", "")
+	if !strings.HasPrefix(string(jsonBody), `{"jobs":`) {
+		t.Errorf("default /metrics is not the JSON document: %s", jsonBody)
+	}
+}

@@ -8,10 +8,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynamicrumor/internal/buildinfo"
 	"dynamicrumor/internal/engine"
 	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/sim"
-	"dynamicrumor/internal/stats"
 )
 
 // Config carries the service policy knobs. The zero value selects sensible
@@ -44,6 +44,15 @@ type Config struct {
 	// Queued and running jobs are never evicted, and the bound is amortized —
 	// the history may transiently overshoot by up to 1/8 before a prune.
 	HistoryLimit int
+	// Backend executes dispatched runs (nil selects LocalBackend — in-process
+	// execution on the batch engine). The cluster coordinator plugs in here to
+	// shard runs across remote workers; every backend is bound by the same
+	// determinism contract, so the cache, coalescing and summary byte-identity
+	// hold regardless of where repetitions execute.
+	Backend Backend
+	// Version is the build identity served by /healthz and /metrics (empty
+	// selects buildinfo.Version()).
+	Version string
 	// Clock overrides the time source (tests pin it for golden responses).
 	Clock func() time.Time
 }
@@ -56,6 +65,8 @@ type Service struct {
 	maxReps       int
 	historyLimit  int
 	defaultStream int
+	backend       Backend
+	version       string
 	clock         func() time.Time
 
 	baseCtx    context.Context
@@ -100,7 +111,15 @@ func New(cfg Config) *Service {
 		maxReps:       cfg.MaxReps,
 		historyLimit:  cfg.HistoryLimit,
 		defaultStream: cfg.DefaultStream,
+		backend:       cfg.Backend,
+		version:       cfg.Version,
 		clock:         cfg.Clock,
+	}
+	if s.backend == nil {
+		s.backend = LocalBackend{}
+	}
+	if s.version == "" {
+		s.version = buildinfo.Version()
 	}
 	if s.queueLimit <= 0 {
 		s.queueLimit = 256
@@ -282,31 +301,30 @@ func (s *Service) dispatch() {
 	}
 }
 
-// runJob executes one job on its granted workers and settles its terminal
-// state. The engine's determinism contract means the summary depends only on
-// (canonical scenario, seed, reps) — never on the worker grant — which is
-// what makes the result cacheable.
+// runJob executes one job through the backend and settles its terminal
+// state. The backend's determinism contract means the summary depends only on
+// (canonical scenario, seed, reps) — never on the worker grant or on which
+// nodes executed which repetitions — which is what makes the result cacheable.
 func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc, workers int) {
 	defer s.wg.Done()
 	// Release the context on every exit path: a finished job must not stay
 	// registered in the base context's children, or daemon memory would grow
 	// with lifetime jobs despite the bounded history.
 	defer cancel()
-	eng := engine.Engine{Parallelism: workers, Seed: j.seed}
-	stream := stats.NewStream(0.5, 0.9)
-	completed := 0
-	err := eng.RunReduceCtx(ctx, j.scenario, j.reps, func(rep int, res *sim.Result) error {
-		stream.Add(res.SpreadTime)
-		if res.Completed {
-			completed++
-		}
-		j.repsDone.Add(1)
-		s.repsDone.Add(1)
-		return nil
+	res, err := s.backend.Run(ctx, BackendRun{
+		Scenario:  j.scenario,
+		Canonical: j.canonical,
+		Reps:      j.reps,
+		Seed:      j.seed,
+		Workers:   workers,
+		Observe: func(delta int64) {
+			j.repsDone.Add(delta)
+			s.repsDone.Add(delta)
+		},
 	})
 	var summary []byte
 	if err == nil {
-		summary, err = buildSummary(j.key, j.reps, j.seed, completed, stream)
+		summary, err = buildSummary(j.key, j.reps, j.seed, res.Completed, res.Stream)
 	}
 
 	s.mu.Lock()
@@ -491,6 +509,26 @@ type Metrics struct {
 		BusySeconds   float64 `json:"busy_seconds"`
 		RepsPerSecond float64 `json:"reps_per_second"`
 	} `json:"throughput"`
+	// Cluster carries the coordinator gauges when the backend is distributed;
+	// absent under the local backend.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats are the coordinator-side gauges of a distributed backend.
+type ClusterStats struct {
+	// Workers is the number of registered, live worker processes.
+	Workers int `json:"workers"`
+	// LeasesOutstanding counts rep-range leases currently held by workers.
+	LeasesOutstanding int `json:"leases_outstanding"`
+	// LeasesReassigned counts leases reclaimed from dead or unresponsive
+	// workers and returned to the pool over the coordinator's lifetime.
+	LeasesReassigned int64 `json:"leases_reassigned"`
+}
+
+// clusterStatser is implemented by distributed backends that export
+// coordinator gauges (the cluster.Coordinator).
+type clusterStatser interface {
+	ClusterStats() ClusterStats
 }
 
 // metrics snapshots the service counters.
@@ -526,6 +564,10 @@ func (s *Service) metrics() Metrics {
 	m.Throughput.BusySeconds = s.busy.Seconds()
 	if s.busy > 0 {
 		m.Throughput.RepsPerSecond = float64(s.finishedReps) / s.busy.Seconds()
+	}
+	if cs, ok := s.backend.(clusterStatser); ok {
+		stats := cs.ClusterStats()
+		m.Cluster = &stats
 	}
 	return m
 }

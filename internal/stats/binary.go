@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec for Stream: an exact, versioned serialization of the full
+// accumulator state — the Welford aggregates and every P² marker — so a
+// stream can be snapshotted mid-observation, shipped across a process
+// boundary (the cluster wire protocol) or persisted (the disk cache), and
+// resumed with bit-identical behaviour. Round-tripping is exact: a restored
+// stream fed the same subsequent observations produces the same summaries,
+// bit for bit, as the original would have.
+//
+// Layout (little-endian):
+//
+//	magic "drs1" | uint32 quantile count
+//	Welford: uint64 n | float64 mean, m2, min, max
+//	per quantile: float64 p | uint64 n | float64 heights[5], pos[5], want[5], incr[5]
+//
+// Floats are serialized as their IEEE-754 bit patterns, so NaN payloads and
+// signed zeros survive unchanged.
+
+// streamMagic identifies (and versions) the Stream binary encoding.
+const streamMagic = "drs1"
+
+const (
+	welfordWireSize = 5 * 8            // n + 4 aggregates
+	p2WireSize      = (1 + 1 + 20) * 8 // p + n + 4×5 marker arrays
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler with the exact state of
+// the stream. It never fails; the error is the interface's.
+func (s *Stream) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, len(streamMagic)+4+welfordWireSize+len(s.quantiles)*p2WireSize)
+	buf = append(buf, streamMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.quantiles)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Welford.n))
+	for _, f := range [...]float64{s.Welford.mean, s.Welford.m2, s.Welford.min, s.Welford.max} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	for _, e := range s.quantiles {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.p))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.n))
+		for _, arr := range [...]*[5]float64{&e.heights, &e.pos, &e.want, &e.incr} {
+			for _, f := range arr {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// stream's entire state with the decoded one. It rejects truncated or
+// trailing bytes and unknown magics, so a wire-corrupted snapshot fails
+// loudly instead of skewing statistics.
+func (s *Stream) UnmarshalBinary(data []byte) error {
+	if len(data) < len(streamMagic)+4 || string(data[:len(streamMagic)]) != streamMagic {
+		return fmt.Errorf("stats: stream snapshot lacks %q magic", streamMagic)
+	}
+	rest := data[len(streamMagic):]
+	nq := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if want := welfordWireSize + nq*p2WireSize; len(rest) != want {
+		return fmt.Errorf("stats: stream snapshot is %d bytes after header, want %d for %d quantiles",
+			len(rest), want, nq)
+	}
+	next := func() uint64 {
+		v := binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+		return v
+	}
+	var w Welford
+	w.n = int(next())
+	w.mean = math.Float64frombits(next())
+	w.m2 = math.Float64frombits(next())
+	w.min = math.Float64frombits(next())
+	w.max = math.Float64frombits(next())
+	quantiles := make([]*P2Quantile, nq)
+	for i := range quantiles {
+		e := &P2Quantile{}
+		e.p = math.Float64frombits(next())
+		// The negated form also rejects NaN levels, which every ordered
+		// comparison would otherwise wave through.
+		if !(e.p > 0 && e.p < 1) {
+			return fmt.Errorf("stats: stream snapshot quantile %d has level %v outside (0, 1)", i, e.p)
+		}
+		e.n = int(next())
+		for _, arr := range [...]*[5]float64{&e.heights, &e.pos, &e.want, &e.incr} {
+			for j := range arr {
+				arr[j] = math.Float64frombits(next())
+			}
+		}
+		quantiles[i] = e
+	}
+	s.Welford = w
+	s.quantiles = quantiles
+	return nil
+}

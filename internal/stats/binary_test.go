@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"dynamicrumor/internal/xrand"
+)
+
+// TestStreamBinaryRoundTripContinuation is the codec's core property: cutting
+// a stream at any point, round-tripping it through MarshalBinary, and feeding
+// the restored copy the remaining observations yields bit-identical summaries
+// and bit-identical final snapshots — serialization is invisible to the
+// statistics.
+func TestStreamBinaryRoundTripContinuation(t *testing.T) {
+	rng := xrand.New(0xbead)
+	for trial := 0; trial < 50; trial++ {
+		total := 1 + rng.Intn(400)
+		cut := rng.Intn(total + 1)
+		obs := make([]float64, total)
+		for i := range obs {
+			obs[i] = rng.Exp(0.25)
+		}
+
+		direct := NewStream(0.5, 0.9)
+		resumed := NewStream(0.5, 0.9)
+		for _, v := range obs[:cut] {
+			direct.Add(v)
+			resumed.Add(v)
+		}
+		blob, err := resumed.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var restored Stream
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		for _, v := range obs[cut:] {
+			direct.Add(v)
+			restored.Add(v)
+		}
+		if !reflect.DeepEqual(direct.Summary(), restored.Summary()) {
+			t.Fatalf("trial %d (total %d, cut %d): restored summary diverged:\n%+v\nvs\n%+v",
+				trial, total, cut, direct.Summary(), restored.Summary())
+		}
+		a, _ := direct.MarshalBinary()
+		b, _ := restored.MarshalBinary()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("trial %d: final snapshots differ after identical continuation", trial)
+		}
+	}
+}
+
+// TestStreamBinaryEmptyAndZeroQuantiles covers the degenerate shapes: a fresh
+// stream and one tracking no quantiles both round-trip exactly.
+func TestStreamBinaryEmptyAndZeroQuantiles(t *testing.T) {
+	for _, s := range []*Stream{NewStream(), NewStream(0.5, 0.9), NewStream(0.25)} {
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Stream
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s.Summary(), back.Summary()) {
+			t.Fatalf("empty stream summary changed: %+v vs %+v", s.Summary(), back.Summary())
+		}
+		if got := back.Quantiles(); !reflect.DeepEqual(got, s.Quantiles()) {
+			t.Fatalf("quantile levels changed: %v vs %v", got, s.Quantiles())
+		}
+	}
+}
+
+// TestStreamBinarySpecialValues pins exactness for IEEE-754 edge cases the
+// spread-time domain can produce (infinities from capped runs; negative
+// zero from float arithmetic).
+func TestStreamBinarySpecialValues(t *testing.T) {
+	s := NewStream(0.5)
+	for _, v := range []float64{0, math.Copysign(0, -1), 1e-300, 1e300, math.Inf(1)} {
+		s.Add(v)
+	}
+	blob, _ := s.MarshalBinary()
+	var back Stream
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.MarshalBinary()
+	b, _ := back.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("special-value snapshot did not round-trip bit-exactly")
+	}
+}
+
+// TestStreamBinaryRejectsCorrupt: truncated, trailing, bad-magic and
+// bad-level snapshots all fail loudly.
+func TestStreamBinaryRejectsCorrupt(t *testing.T) {
+	s := NewStream(0.5, 0.9)
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i))
+	}
+	blob, _ := s.MarshalBinary()
+
+	var dst Stream
+	if err := dst.UnmarshalBinary(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if err := dst.UnmarshalBinary(blob[:len(blob)-1]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if err := dst.UnmarshalBinary(append(append([]byte{}, blob...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte{}, blob...)
+	bad[0] = 'x'
+	if err := dst.UnmarshalBinary(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Corrupt the first quantile's level to an out-of-range value.
+	bad = append([]byte{}, blob...)
+	off := len(streamMagic) + 4 + welfordWireSize
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0xff
+	}
+	if err := dst.UnmarshalBinary(bad); err == nil {
+		t.Error("out-of-range quantile level accepted")
+	}
+}

@@ -1,0 +1,83 @@
+#!/bin/sh
+# cluster_smoke.sh — the CI end-to-end guard for the distributed rumord:
+# start a coordinator and two workers, drive a 10⁴-repetition ensemble
+# through the example client, kill one worker mid-run, and require the
+# summary to be byte-identical to the same submission executed by a plain
+# single-node rumord. The engine's determinism contract extends across the
+# cluster — sharding, worker death and lease reassignment must never show
+# up in the output.
+set -eu
+
+cd "$(dirname "$0")/.."
+COORD=127.0.0.1:18090
+LOCAL=127.0.0.1:18091
+TMP="$(mktemp -d)"
+PIDS=
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/rumord" ./cmd/rumord
+go build -o "$TMP/client" ./examples/client
+
+# A short lease TTL so the killed worker's range is reassigned within the
+# smoke's patience, not the production default's; a tight poll so the
+# workers pick up the run almost as soon as it is submitted.
+"$TMP/rumord" -cluster -addr "$COORD" -lease-ttl 2s -poll 25ms >"$TMP/coord.log" 2>&1 &
+PIDS="$PIDS $!"
+"$TMP/rumord" -addr "$LOCAL" -budget 4 >"$TMP/local.log" 2>&1 &
+PIDS="$PIDS $!"
+
+wait_healthy() {
+    i=0
+    until curl -fsS "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "rumord on $1 did not become healthy; log:" >&2
+            cat "$TMP/$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+wait_healthy "$COORD" coord.log
+wait_healthy "$LOCAL" local.log
+
+"$TMP/rumord" -worker -join "http://$COORD" -name smoke-w1 >"$TMP/w1.log" 2>&1 &
+W1=$!
+PIDS="$PIDS $W1"
+"$TMP/rumord" -worker -join "http://$COORD" -name smoke-w2 >"$TMP/w2.log" 2>&1 &
+PIDS="$PIDS $!"
+
+submit() {
+    "$TMP/client" -addr "http://$1" -family clique -sizes 256 -reps 10000 -seed 424 -raw
+}
+
+# Distributed run, with one worker killed dead (SIGKILL — no graceful
+# drain) shortly after it starts. The kill is best-effort — on a fast
+# machine the ensemble may already be done — but whenever it lands mid-run,
+# the worker's leases must expire and be re-executed by the survivor
+# without changing a byte of output.
+submit "$COORD" >"$TMP/cluster.json" &
+CLIENT=$!
+sleep 0.5
+kill -9 "$W1" 2>/dev/null || true
+wait "$CLIENT"
+
+# The single-node reference run of the identical submission.
+submit "$LOCAL" >"$TMP/local.json"
+
+if ! cmp -s "$TMP/cluster.json" "$TMP/local.json"; then
+    echo "FAIL: distributed summary differs from the single-node run" >&2
+    diff "$TMP/local.json" "$TMP/cluster.json" >&2 || true
+    echo "coordinator log:" >&2
+    cat "$TMP/coord.log" >&2
+    exit 1
+fi
+
+# The coordinator's Prometheus exposition must carry the cluster gauges.
+if ! curl -fsS -H 'Accept: text/plain' "http://$COORD/metrics" | grep -q '^rumord_cluster_workers'; then
+    echo "FAIL: coordinator /metrics exposition lacks rumord_cluster_workers" >&2
+    exit 1
+fi
+
+reassigned=$(grep -c 'returned to pool' "$TMP/coord.log" || true)
+echo "cluster smoke OK: distributed summary byte-identical to single-node (leases reassigned: ${reassigned:-0})"
