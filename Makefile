@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke test-equivalence smoke-service smoke-cluster serve check clean
+.PHONY: all build test test-short test-race vet fmt-check bench bench-json bench-smoke test-equivalence smoke-service smoke-cluster smoke-chaos serve check clean
 
 # The anchor benchmarks tracked across PRs (see BENCH_*.json and
 # EXPERIMENTS.md): the Monte-Carlo engine fan-out (batch + streaming,
@@ -83,6 +83,13 @@ smoke-service:
 # mid-run) and the summary must be byte-identical to a single-node rumord's.
 smoke-cluster:
 	sh scripts/cluster_smoke.sh
+
+# smoke-chaos is the tier-2 crash-recovery guard: a durable coordinator
+# (-state-dir, -cache-dir) is SIGKILLed mid-run under an active fault plan
+# (-chaos) and restarted; the recovered run's summary must be byte-identical
+# to a single-node rumord's.
+smoke-chaos:
+	sh scripts/chaos_smoke.sh
 
 check: build vet fmt-check test
 

@@ -51,6 +51,7 @@ import (
 
 	"dynamicrumor/internal/buildinfo"
 	"dynamicrumor/internal/cluster"
+	"dynamicrumor/internal/faults"
 	"dynamicrumor/internal/service"
 )
 
@@ -82,6 +83,14 @@ func run(args []string) error {
 	pollInterval := fs.Duration("poll", 500*time.Millisecond,
 		"idle polling cadence the coordinator suggests to workers")
 	shardSize := fs.Int("shard", 0, "repetitions per worker lease (0 means automatic)")
+	stateDir := fs.String("state-dir", "",
+		"directory for the durable run ledger and coordinator journal; in-flight runs are re-adopted after a crash or restart (empty disables durability)")
+	cacheDir := fs.String("cache-dir", "",
+		"directory for the persistent result cache; completed summaries survive restarts and replay byte-identically (empty disables)")
+	cacheBytes := fs.Int64("cache-bytes", 0,
+		"persistent result cache size bound in bytes; least-recently-used entries are evicted beyond it (0 means 256 MiB)")
+	chaos := fs.String("chaos", "",
+		`fault plan injected at the cluster HTTP boundary, e.g. "seed=7,drop=0.05,error=0.1,delay=30ms:0.2" (testing only; empty disables)`)
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,22 +124,52 @@ func run(args []string) error {
 		MaxReps:       *maxReps,
 		HistoryLimit:  *historyLimit,
 		DefaultStream: *streamDefault,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheBytes,
+		StateDir:      *stateDir,
+		Logf:          log.Printf,
 	}
 	var coord *cluster.Coordinator
 	if *clusterMode {
-		coord = cluster.New(cluster.Config{
+		var err error
+		coord, err = cluster.New(cluster.Config{
 			LeaseTTL:     *leaseTTL,
 			PollInterval: *pollInterval,
 			ShardSize:    *shardSize,
+			StateDir:     *stateDir,
 			Logf:         log.Printf,
 		})
+		if err != nil {
+			return err
+		}
 		cfg.Backend = coord
 	}
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	if coord != nil {
+		// The service's ledger replay decides which runs are still owned; the
+		// coordinator drops recovered journal state for any run the service no
+		// longer knows, so a cancelled-then-crashed run is not resurrected.
+		coord.RetainRecovered(svc.RecoveredKeys())
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
 	if coord != nil {
-		coord.Mount(mux)
+		// Mount the cluster endpoints behind the (usually zero) fault plan:
+		// -chaos makes the coordinator/worker protocol misbehave on demand so
+		// smoke tooling can exercise the recovery paths. The service API stays
+		// clean — chaos targets the distributed boundary only.
+		plan, err := faults.ParsePlan(*chaos)
+		if err != nil {
+			return err
+		}
+		inner := http.NewServeMux()
+		coord.Mount(inner)
+		mux.Handle("/v1/cluster/", faults.New(plan).Wrap(inner))
+	} else if *chaos != "" {
+		return errors.New("-chaos requires -cluster (it injects faults at the cluster boundary)")
 	}
 	server := &http.Server{Addr: *addr, Handler: mux}
 

@@ -151,6 +151,10 @@ func (c *client) submit(body map[string]any) (jobView, error) {
 }
 
 // wait polls the job until it settles, failing on non-done terminal states.
+// Transient poll failures — a connection refused while the daemon restarts,
+// a 5xx served mid-recovery — are retried until the deadline: with -state-dir
+// the daemon re-adopts its jobs under their original IDs, so a polling client
+// rides out a crash as long as the job itself does.
 func (c *client) wait(job jobView, timeout time.Duration) (jobView, error) {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -166,7 +170,12 @@ func (c *client) wait(job jobView, timeout time.Duration) (jobView, error) {
 		time.Sleep(50 * time.Millisecond)
 		resp, err := c.http.Get(c.base + "/v1/runs/" + job.ID)
 		if err != nil {
-			return job, err
+			continue // daemon down or restarting: keep polling
+		}
+		if resp.StatusCode >= 500 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
 		}
 		if job, err = decodeJob(resp); err != nil {
 			return job, err

@@ -72,15 +72,19 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeBody reads and strictly decodes a protocol request body, answering
-// the request itself on failure.
+// the request itself on failure. MaxBytesReader (rather than a bare
+// LimitReader) also closes the connection after an oversized body, so a
+// misbehaving worker cannot keep streaming into a refused request.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxResultBytes+1))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBytes))
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
-		return false
-	}
-	if len(body) > maxResultBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, errors.New("request body exceeds 8 MiB"))
 		return false
 	}
 	dec := json.NewDecoder(bytes.NewReader(body))

@@ -43,6 +43,16 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
+// newTestCoordinator starts a coordinator or fails the test.
+func newTestCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
 // localResult runs the same ensemble on the single-node reference backend.
 func localResult(t *testing.T, run service.BackendRun) service.BackendResult {
 	t.Helper()
@@ -89,7 +99,7 @@ func startWorkers(t *testing.T, url string, n int) func() {
 // byte-identical to the single-node reference backend, and the coordinator
 // observes every repetition exactly once.
 func TestClusterMatchesLocal(t *testing.T) {
-	coord := New(Config{LeaseTTL: 5 * time.Second, PollInterval: 5 * time.Millisecond, ShardSize: 7})
+	coord := newTestCoordinator(t, Config{LeaseTTL: 5 * time.Second, PollInterval: 5 * time.Millisecond, ShardSize: 7})
 	defer coord.Close()
 	mux := http.NewServeMux()
 	coord.Mount(mux)
@@ -126,7 +136,7 @@ func TestClusterMatchesLocal(t *testing.T) {
 // worker's late upload must be discarded as stale.
 func TestClusterLeaseExpiryReassignment(t *testing.T) {
 	const ttl = 300 * time.Millisecond
-	coord := New(Config{LeaseTTL: ttl, PollInterval: 5 * time.Millisecond, ShardSize: 25, Logf: t.Logf})
+	coord := newTestCoordinator(t, Config{LeaseTTL: ttl, PollInterval: 5 * time.Millisecond, ShardSize: 25, Logf: t.Logf})
 	defer coord.Close()
 	mux := http.NewServeMux()
 	coord.Mount(mux)
@@ -224,7 +234,7 @@ func TestClusterLeaseExpiryReassignment(t *testing.T) {
 // TestClusterFamilyGating: a worker restricted to another family is never
 // offered the run; an unrestricted worker is.
 func TestClusterFamilyGating(t *testing.T) {
-	coord := New(Config{LeaseTTL: 5 * time.Second, PollInterval: 5 * time.Millisecond, ShardSize: 10})
+	coord := newTestCoordinator(t, Config{LeaseTTL: 5 * time.Second, PollInterval: 5 * time.Millisecond, ShardSize: 10})
 	defer coord.Close()
 
 	gated := coord.register(RegisterRequest{Name: "gated", CPUs: 1, Families: []string{"gnrho"}})
@@ -263,7 +273,7 @@ func TestClusterFamilyGating(t *testing.T) {
 // TestClusterIntegrityCheck: an upload whose stream snapshot does not match
 // its raw values fails the run loudly instead of poisoning the merge.
 func TestClusterIntegrityCheck(t *testing.T) {
-	coord := New(Config{LeaseTTL: 5 * time.Second, ShardSize: 100})
+	coord := newTestCoordinator(t, Config{LeaseTTL: 5 * time.Second, ShardSize: 100})
 	defer coord.Close()
 	w := coord.register(RegisterRequest{Name: "corrupt", CPUs: 1})
 
@@ -302,7 +312,7 @@ func TestClusterIntegrityCheck(t *testing.T) {
 // TestClusterUnknownWorker: protocol requests naming an unknown worker are
 // answered 404 — the re-register signal.
 func TestClusterUnknownWorker(t *testing.T) {
-	coord := New(Config{})
+	coord := newTestCoordinator(t, Config{})
 	defer coord.Close()
 	mux := http.NewServeMux()
 	coord.Mount(mux)

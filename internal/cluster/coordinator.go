@@ -5,12 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"dynamicrumor/internal/service"
 	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/store"
 )
 
 // Config carries the coordinator policy knobs. The zero value selects
@@ -28,8 +30,13 @@ type Config struct {
 	// trip, see shardFor). Like every scheduling knob it never changes
 	// outputs — the merge is exact for any sharding.
 	ShardSize int
+	// StateDir, when set, enables crash recovery: run starts and settled
+	// shard uploads are journalled (fsync'd) so a SIGKILLed coordinator can
+	// re-adopt its in-flight runs on restart, replaying completed shards
+	// through the exact merger and re-leasing only the unfinished ranges.
+	StateDir string
 	// Logf, when non-nil, receives coordinator lifecycle events (worker
-	// registration, lease reclaim, run settlement).
+	// registration, lease reclaim, run settlement, recovery).
 	Logf func(format string, args ...any)
 }
 
@@ -54,6 +61,13 @@ type Coordinator struct {
 	reassigned int64
 	closed     bool
 
+	// Crash-recovery journal state (nil / empty without Config.StateDir).
+	journal        *store.Journal
+	recovered      map[string]*recoveredRun
+	recoveredOrder []string
+	runsReadopted  int64
+	shardsReplayed int64
+
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 }
@@ -76,11 +90,15 @@ type shard struct {
 // clusterRun is one in-flight ensemble run.
 type clusterRun struct {
 	id        string
+	key       string // service run key; empty disables journaling for the run
 	canonical []byte
 	family    string
 	seed      uint64
 	reps      int
 	observe   func(delta int64)
+	// records retains the run's journal frames (run start + settled shards)
+	// so compaction can rewrite them; cleared at run end.
+	records []store.Record
 
 	pending     []shard // sorted by start; lowest granted first
 	outstanding int     // leased shards not yet settled
@@ -106,7 +124,10 @@ type lease struct {
 var errUnknownWorker = errors.New("cluster: unknown worker")
 
 // New starts a coordinator (its lease-expiry sweeper runs until Close).
-func New(cfg Config) *Coordinator {
+// With Config.StateDir it replays the recovery journal first; failing to
+// open it is a startup error, because running without the durability the
+// operator asked for would be a silent downgrade.
+func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		ttl:       cfg.LeaseTTL,
 		poll:      cfg.PollInterval,
@@ -115,6 +136,7 @@ func New(cfg Config) *Coordinator {
 		workers:   make(map[string]*workerState),
 		runs:      make(map[string]*clusterRun),
 		leases:    make(map[string]*lease),
+		recovered: make(map[string]*recoveredRun),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
@@ -127,8 +149,13 @@ func New(cfg Config) *Coordinator {
 	if c.logf == nil {
 		c.logf = func(string, ...any) {}
 	}
+	if cfg.StateDir != "" {
+		if err := c.openJournal(filepath.Join(cfg.StateDir, "cluster.journal")); err != nil {
+			return nil, err
+		}
+	}
 	go c.sweep()
-	return c
+	return c, nil
 }
 
 // Close stops the expiry sweeper. In-flight Run calls are settled by their
@@ -143,6 +170,13 @@ func (c *Coordinator) Close() {
 	c.mu.Unlock()
 	close(c.sweepStop)
 	<-c.sweepDone
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal != nil {
+		if err := c.journal.Close(); err != nil {
+			c.logf("cluster: journal close: %v", err)
+		}
+	}
 }
 
 // shardFor decides the repetitions per lease: the explicit size when set,
@@ -178,6 +212,7 @@ func (c *Coordinator) Run(ctx context.Context, run service.BackendRun) (service.
 		return service.BackendResult{}, errors.New("cluster: run has no canonical scenario")
 	}
 	r := &clusterRun{
+		key:       run.Key,
 		canonical: run.Canonical,
 		family:    run.Scenario.Network.Family,
 		seed:      run.Seed,
@@ -188,13 +223,7 @@ func (c *Coordinator) Run(ctx context.Context, run service.BackendRun) (service.
 	}
 	r.merger = stats.NewMerger(r.stream)
 	size := shardFor(c.shardSize, run.Reps)
-	for start := 0; start < run.Reps; start += size {
-		n := size
-		if start+n > run.Reps {
-			n = run.Reps - start
-		}
-		r.pending = append(r.pending, shard{start: start, count: n})
-	}
+	r.pending = appendShardRanges(nil, 0, run.Reps, size)
 	shards := len(r.pending)
 
 	c.mu.Lock()
@@ -206,7 +235,45 @@ func (c *Coordinator) Run(ctx context.Context, run service.BackendRun) (service.
 	r.id = fmt.Sprintf("r%06d", c.nextRun)
 	c.runs[r.id] = r
 	c.runOrder = append(c.runOrder, r.id)
+	var replayed int64
+	if rec, ok := c.recovered[run.Key]; ok {
+		// The service resubmitted a run the previous coordinator process had
+		// in flight: fold the journalled shards back in and lease only the
+		// unfinished ranges.
+		delete(c.recovered, run.Key)
+		c.dropRecoveredOrder(run.Key)
+		if err := c.readoptLocked(r, rec, size); err != nil {
+			// Inconsistent journal state is discarded — re-executing from
+			// scratch is always correct, just slower.
+			c.logf("cluster: run %s: journalled state unusable, running from scratch: %v", r.id, err)
+			r.stream = service.NewSummaryStream()
+			r.merger = stats.NewMerger(r.stream)
+			r.completed = 0
+			r.records = nil
+			r.pending = appendShardRanges(nil, 0, run.Reps, size)
+			if cerr := c.compactJournalLocked(); cerr != nil {
+				c.logf("cluster: journal compaction: %v", cerr)
+			}
+			c.journalRunStartLocked(r, run.Canonical)
+		} else {
+			replayed = int64(r.merger.Next())
+		}
+	} else {
+		c.journalRunStartLocked(r, run.Canonical)
+	}
+	if r.merger.Next() == r.reps {
+		// Every shard was already journalled: the run finished before the
+		// crash and only its end record was lost. Settle without a worker.
+		r.finished = true
+		c.removeRunLocked(r)
+		c.journalRunEndLocked(r)
+		close(r.done)
+		c.logf("cluster: run %s: complete from journal alone (%d reps)", r.id, r.reps)
+	}
 	c.mu.Unlock()
+	if replayed > 0 && run.Observe != nil {
+		run.Observe(replayed)
+	}
 	c.logf("cluster: run %s: %d reps in %d shards of <=%d", r.id, run.Reps, shards, size)
 
 	select {
@@ -264,6 +331,7 @@ func (c *Coordinator) failRunLocked(r *clusterRun, err error) {
 	r.err = err
 	r.finished = true
 	c.removeRunLocked(r)
+	c.journalRunEndLocked(r)
 	close(r.done)
 	c.logf("cluster: run %s: failed: %v", r.id, err)
 }
@@ -387,6 +455,9 @@ func (c *Coordinator) result(req ResultRequest) (ResultResponse, error) {
 	case err != nil:
 		c.failRunLocked(r, err)
 	default:
+		// Journal before acknowledging: once the worker is told its upload
+		// settled, the coordinator must be able to replay it after a crash.
+		c.journalShardLocked(r, l.shard, req)
 		if r.observe != nil {
 			delta := int64(l.shard.count)
 			observe := r.observe
@@ -395,6 +466,7 @@ func (c *Coordinator) result(req ResultRequest) (ResultResponse, error) {
 		if r.merger.Next() == r.reps {
 			r.finished = true
 			c.removeRunLocked(r)
+			c.journalRunEndLocked(r)
 			close(r.done)
 			c.logf("cluster: run %s: complete (%d reps)", r.id, r.reps)
 		}
@@ -508,5 +580,25 @@ func (c *Coordinator) ClusterStats() service.ClusterStats {
 		Workers:           len(c.workers),
 		LeasesOutstanding: len(c.leases),
 		LeasesReassigned:  c.reassigned,
+		RunsReadopted:     c.runsReadopted,
+		ShardsReplayed:    c.shardsReplayed,
 	}
+}
+
+// Ready implements the service's backend readiness check: with zero live
+// workers a new submission would sit in the queue until one joined, holding
+// a scheduler slot and the client's patience for work that cannot start.
+// Failing fast with Retry-After lets clients back off and resubmit once the
+// fleet is back. Cache hits, coalesced followers and crash-recovered jobs
+// are exempt — the service only consults Ready for fresh work.
+func (c *Coordinator) Ready() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.workers) == 0 {
+		return &service.UnavailableError{
+			Reason:     "cluster: no live workers joined; retry once a worker registers",
+			RetryAfter: c.ttl,
+		}
+	}
+	return nil
 }

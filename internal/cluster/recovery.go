@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"dynamicrumor/internal/service"
+	"dynamicrumor/internal/stats"
+	"dynamicrumor/internal/store"
+)
+
+// The coordinator's crash-recovery journal (enabled by Config.StateDir):
+// every run is journalled when it starts, every settled shard upload is
+// journalled — raw values plus the worker's stats.Stream snapshot, the same
+// integrity pair the upload itself carried — and a run's end is journalled
+// when it completes or fails. On restart, a run resubmitted by the service
+// under the same run key re-adopts the journalled state: completed shards
+// are replayed through the exact merger in repetition order (producing the
+// byte-identical accumulator a crash-free run would hold) and only the
+// unfinished ranges are re-leased to workers.
+//
+// Abandoned runs (cancelled contexts, shutdown) deliberately get no runEnd
+// record: the service's own ledger decides on restart which runs are still
+// owned, and RetainRecovered prunes the coordinator state of everything it
+// no longer claims.
+
+// Journal record types of the coordinator journal.
+const (
+	crRunStart  byte = 1 // a keyed run began sharded execution
+	crShardDone byte = 2 // one shard's upload settled into the merger
+	crRunEnd    byte = 3 // the run completed or failed
+)
+
+// clusterCompactBytes is the journal size that triggers snapshot compaction.
+const clusterCompactBytes = 4 << 20
+
+// runStartRecord is the crRunStart payload.
+type runStartRecord struct {
+	Key       string          `json:"key"`
+	Canonical json.RawMessage `json:"canonical"`
+	Seed      uint64          `json:"seed"`
+	Reps      int             `json:"reps"`
+}
+
+// recoveredShard is one journalled settled shard.
+type recoveredShard struct {
+	start     int
+	completed int
+	values    []float64
+}
+
+// recoveredRun is a journalled run awaiting re-adoption: the service
+// resubmits it by key, and Run folds this state back in.
+type recoveredRun struct {
+	start  runStartRecord
+	shards []recoveredShard
+	// records retains the raw journal frames so compaction can rewrite them.
+	records []store.Record
+}
+
+// encodeShardRecord renders a crShardDone payload:
+//
+//	64-byte hex key | uint32 start | uint32 count | uint32 completed |
+//	count × float64 bits | uint32 stream length | stream snapshot
+//
+// Values are stored as raw IEEE-754 bits — the exact-merge contract is
+// bit-level, so the journal must round-trip observations exactly. The
+// snapshot (the worker's own stats.Stream serialization) is re-verified on
+// replay just as settleUploadLocked verified it on upload.
+func encodeShardRecord(key string, start, completed int, values []float64, stream []byte) []byte {
+	buf := make([]byte, 0, len(key)+12+len(values)*8+4+len(stream))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(start))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(values)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(completed))
+	for _, v := range values {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(stream)))
+	return append(buf, stream...)
+}
+
+// decodeShardRecord parses and integrity-checks a crShardDone payload.
+func decodeShardRecord(p []byte) (string, recoveredShard, error) {
+	const keyLen = 64
+	if len(p) < keyLen+12 {
+		return "", recoveredShard{}, fmt.Errorf("cluster: shard record of %d bytes is too short", len(p))
+	}
+	key := string(p[:keyLen])
+	start := int(binary.LittleEndian.Uint32(p[keyLen:]))
+	count := int(binary.LittleEndian.Uint32(p[keyLen+4:]))
+	sh := recoveredShard{start: start, completed: int(binary.LittleEndian.Uint32(p[keyLen+8:]))}
+	rest := p[keyLen+12:]
+	if count < 0 || len(rest) < count*8+4 {
+		return "", recoveredShard{}, fmt.Errorf("cluster: shard record truncated (%d values, %d bytes left)", count, len(rest))
+	}
+	sh.values = make([]float64, count)
+	for i := range sh.values {
+		sh.values[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:]))
+	}
+	rest = rest[count*8:]
+	streamLen := int(binary.LittleEndian.Uint32(rest))
+	if len(rest) != 4+streamLen {
+		return "", recoveredShard{}, fmt.Errorf("cluster: shard record stream truncated")
+	}
+	// The same cross-check the live upload passed: replaying the values must
+	// reproduce the recorded stream snapshot bit for bit.
+	check := service.NewSummaryStream()
+	for _, v := range sh.values {
+		check.Add(v)
+	}
+	want, err := check.MarshalBinary()
+	if err != nil {
+		return "", recoveredShard{}, err
+	}
+	if !bytes.Equal(want, rest[4:]) {
+		return "", recoveredShard{}, fmt.Errorf("cluster: shard record [%d,%d) snapshot does not match its values", start, start+count)
+	}
+	return key, sh, nil
+}
+
+// openJournal opens the coordinator journal, replaying journalled run state
+// into the recovered set. Called from New before the sweeper starts.
+// Individually damaged records are logged and skipped rather than failing
+// startup — a dropped shard record only means its range is re-executed, which
+// the exact merge makes harmless.
+func (c *Coordinator) openJournal(path string) error {
+	j, err := store.OpenJournal(path, func(rec store.Record) error {
+		switch rec.Type {
+		case crRunStart:
+			var rs runStartRecord
+			if err := json.Unmarshal(rec.Payload, &rs); err != nil {
+				c.logf("cluster: recovery: unreadable run start record skipped: %v", err)
+				return nil
+			}
+			if _, ok := c.recovered[rs.Key]; !ok {
+				c.recoveredOrder = append(c.recoveredOrder, rs.Key)
+			}
+			c.recovered[rs.Key] = &recoveredRun{start: rs, records: []store.Record{rec}}
+		case crShardDone:
+			key, sh, err := decodeShardRecord(rec.Payload)
+			if err != nil {
+				c.logf("cluster: recovery: shard record skipped (range will be re-executed): %v", err)
+				return nil
+			}
+			r, ok := c.recovered[key]
+			if !ok {
+				// A shard of a run whose start record was compacted away after
+				// it ended; nothing to recover.
+				return nil
+			}
+			r.shards = append(r.shards, sh)
+			r.records = append(r.records, rec)
+		case crRunEnd:
+			key := string(rec.Payload)
+			if _, ok := c.recovered[key]; ok {
+				delete(c.recovered, key)
+				c.dropRecoveredOrder(key)
+			}
+		}
+		// Unknown record types are skipped so an older binary can replay a
+		// newer journal.
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.journal = j
+	for _, key := range c.recoveredOrder {
+		r := c.recovered[key]
+		c.logf("cluster: recovery: run key %s: %d reps, %d settled shards journalled", key[:12], r.start.Reps, len(r.shards))
+	}
+	// Startup compaction drops ended runs' records immediately.
+	return c.compactJournalLocked()
+}
+
+// dropRecoveredOrder removes key from the recovered ordering.
+func (c *Coordinator) dropRecoveredOrder(key string) {
+	for i, k := range c.recoveredOrder {
+		if k == key {
+			c.recoveredOrder = append(c.recoveredOrder[:i], c.recoveredOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// RetainRecovered prunes the recovered run state to the given keys — the
+// runs the service's own ledger still owns. Called once at startup, after
+// the service has replayed its ledger: a run the service settled or no
+// longer knows will never be resubmitted, so its journalled shards are dead
+// weight (and would leak across restarts).
+func (c *Coordinator) RetainRecovered(keys []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil || len(c.recovered) == 0 {
+		return
+	}
+	keep := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		keep[k] = true
+	}
+	pruned := false
+	for key := range c.recovered {
+		if keep[key] {
+			continue
+		}
+		delete(c.recovered, key)
+		c.dropRecoveredOrder(key)
+		pruned = true
+		c.logf("cluster: recovery: run key %s no longer owned by the service, dropped", key[:12])
+	}
+	if pruned {
+		if err := c.compactJournalLocked(); err != nil {
+			c.logf("cluster: journal compaction: %v", err)
+		}
+	}
+}
+
+// journalableKey reports whether a run key fits the journal's fixed-width
+// shard-record framing — the service's sha256 hex keys always do; anything
+// else simply runs without crash recovery.
+func journalableKey(key string) bool {
+	return len(key) == 64
+}
+
+// journalRunStartLocked records a keyed run's start. Journal failures
+// degrade durability, not correctness — the run still executes, and on a
+// crash the service would simply resubmit it from scratch — so they are
+// logged, never surfaced. Callers hold the mutex.
+func (c *Coordinator) journalRunStartLocked(r *clusterRun, canonical []byte) {
+	if c.journal == nil || !journalableKey(r.key) {
+		return
+	}
+	payload, err := json.Marshal(runStartRecord{Key: r.key, Canonical: canonical, Seed: r.seed, Reps: r.reps})
+	if err != nil {
+		c.logf("cluster: journal run start: %v", err)
+		return
+	}
+	rec := store.Record{Type: crRunStart, Payload: payload}
+	if err := c.journal.Append(rec); err != nil {
+		c.logf("cluster: journal run start: %v", err)
+		return
+	}
+	r.records = append(r.records, rec)
+}
+
+// journalShardLocked records one settled shard upload. Callers hold the
+// mutex and have already folded the shard into the merger.
+func (c *Coordinator) journalShardLocked(r *clusterRun, sh shard, req ResultRequest) {
+	if c.journal == nil || !journalableKey(r.key) || len(r.records) == 0 {
+		return
+	}
+	rec := store.Record{Type: crShardDone, Payload: encodeShardRecord(r.key, sh.start, req.Completed, req.Values, req.Stream)}
+	if err := c.journal.Append(rec); err != nil {
+		c.logf("cluster: journal shard [%d,%d): %v", sh.start, sh.start+sh.count, err)
+		return
+	}
+	r.records = append(r.records, rec)
+}
+
+// journalRunEndLocked records a run's completion or failure and compacts
+// the journal once it outgrows the threshold. Abandons are deliberately not
+// recorded — see the package comment. Callers hold the mutex.
+func (c *Coordinator) journalRunEndLocked(r *clusterRun) {
+	if c.journal == nil || !journalableKey(r.key) || len(r.records) == 0 {
+		return
+	}
+	r.records = nil
+	if err := c.journal.Append(store.Record{Type: crRunEnd, Payload: []byte(r.key)}); err != nil {
+		c.logf("cluster: journal run end: %v", err)
+		return
+	}
+	if c.journal.Size() > clusterCompactBytes {
+		if err := c.compactJournalLocked(); err != nil {
+			c.logf("cluster: journal compaction: %v", err)
+		}
+	}
+}
+
+// compactJournalLocked rewrites the journal to exactly the live state: the
+// retained frames of every active keyed run and every still-unclaimed
+// recovered run. Callers hold the mutex (or are in single-threaded startup).
+func (c *Coordinator) compactJournalLocked() error {
+	if c.journal == nil {
+		return nil
+	}
+	var records []store.Record
+	for _, key := range c.recoveredOrder {
+		records = append(records, c.recovered[key].records...)
+	}
+	for _, id := range c.runOrder {
+		records = append(records, c.runs[id].records...)
+	}
+	return c.journal.Rewrite(records)
+}
+
+// appendShardRanges slices [start, start+count) into size-bounded pending
+// shards appended to pending.
+func appendShardRanges(pending []shard, start, count, size int) []shard {
+	for count > 0 {
+		n := size
+		if n > count {
+			n = count
+		}
+		pending = append(pending, shard{start: start, count: n})
+		start += n
+		count -= n
+	}
+	return pending
+}
+
+// readoptLocked folds a recovered run's journalled shards into a fresh
+// clusterRun: settled ranges replay through the exact merger in repetition
+// order — reproducing bit for bit the accumulator state the crashed
+// coordinator held — and only the gaps between them are sliced into pending
+// shards for workers. Returns an error if the journalled state is
+// internally inconsistent, in which case the caller falls back to running
+// from scratch. Callers hold the mutex.
+func (c *Coordinator) readoptLocked(r *clusterRun, rec *recoveredRun, size int) error {
+	shards := append([]recoveredShard(nil), rec.shards...)
+	sort.Slice(shards, func(i, j int) bool { return shards[i].start < shards[j].start })
+	var pending []shard
+	next := 0
+	for _, sh := range shards {
+		if sh.start < next {
+			return fmt.Errorf("cluster: journalled shards overlap at rep %d", sh.start)
+		}
+		if sh.start+len(sh.values) > r.reps {
+			return fmt.Errorf("cluster: journalled shard [%d,%d) exceeds %d reps", sh.start, sh.start+len(sh.values), r.reps)
+		}
+		pending = appendShardRanges(pending, next, sh.start-next, size)
+		if err := r.merger.Add(stats.Chunk{Start: sh.start, Values: sh.values}); err != nil {
+			return err
+		}
+		r.completed += sh.completed
+		next = sh.start + len(sh.values)
+		c.shardsReplayed++
+	}
+	r.pending = appendShardRanges(pending, next, r.reps-next, size)
+	r.records = rec.records
+	c.runsReadopted++
+	c.logf("cluster: run %s: re-adopted key %s (%d shards replayed, %d reps already merged)",
+		r.id, r.key[:12], len(shards), r.merger.Next())
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/retry"
 	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/service"
 	"dynamicrumor/internal/sim"
@@ -96,6 +97,11 @@ func (w *Worker) Run(ctx context.Context) error {
 	}()
 	defer hbDone.Wait()
 
+	// Consecutive lease-poll failures back off with full jitter instead of
+	// hammering a coordinator that is down or restarting; any success (or a
+	// quiet "no work" answer) resets the sequence.
+	leaseRetry := retry.Policy{Base: 100 * time.Millisecond, Cap: 5 * time.Second}
+	failures := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -103,6 +109,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		lease, err := w.requestLease(ctx)
 		switch {
 		case errors.Is(err, errStaleWorker):
+			failures = 0
 			if err := w.register(ctx); err != nil {
 				return err
 			}
@@ -111,52 +118,54 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
+			failures++
 			w.logf("worker: lease request failed: %v", err)
-			if !sleep(ctx, w.pollInterval()) {
+			if !retry.Sleep(ctx, leaseRetry.Delay(failures-1)) {
 				return ctx.Err()
 			}
 			continue
 		case lease == nil:
-			if !sleep(ctx, w.pollInterval()) {
+			failures = 0
+			if !retry.Sleep(ctx, w.pollInterval()) {
 				return ctx.Err()
 			}
 			continue
 		}
+		failures = 0
 		w.execute(ctx, lease)
 	}
 }
 
-// register announces the worker, retrying with backoff until it succeeds or
-// ctx is cancelled.
+// register announces the worker, retrying with jittered backoff until it
+// succeeds or ctx is cancelled — a worker outliving its coordinator's crash
+// keeps knocking until the restarted coordinator answers.
 func (w *Worker) register(ctx context.Context) error {
-	delay := 100 * time.Millisecond
-	for {
+	policy := retry.Policy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, PerAttempt: 10 * time.Second}
+	err := policy.Do(ctx, func(ctx context.Context) error {
 		var resp RegisterResponse
 		err := w.post(ctx, "/v1/cluster/register", RegisterRequest{
 			Name:     w.name,
 			CPUs:     w.cpus,
 			Families: w.families,
 		}, &resp)
-		if err == nil {
-			w.mu.Lock()
-			w.id = resp.WorkerID
-			w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
-			w.poll = time.Duration(resp.PollMillis) * time.Millisecond
-			w.mu.Unlock()
-			w.logf("worker: registered as %s (lease ttl %dms)", resp.WorkerID, resp.LeaseTTLMillis)
-			return nil
+		if err != nil {
+			if ctx.Err() == nil {
+				w.logf("worker: register failed: %v", err)
+			}
+			return err
 		}
-		if ctx.Err() != nil {
-			return ctx.Err()
-		}
-		w.logf("worker: register failed: %v", err)
-		if !sleep(ctx, delay) {
-			return ctx.Err()
-		}
-		if delay < 5*time.Second {
-			delay *= 2
-		}
+		w.mu.Lock()
+		w.id = resp.WorkerID
+		w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+		w.poll = time.Duration(resp.PollMillis) * time.Millisecond
+		w.mu.Unlock()
+		w.logf("worker: registered as %s (lease ttl %dms)", resp.WorkerID, resp.LeaseTTLMillis)
+		return nil
+	})
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
 	}
+	return err
 }
 
 // heartbeatLoop renews the registration and held leases at a third of the
@@ -169,7 +178,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		if interval <= 0 {
 			interval = time.Second
 		}
-		if !sleep(ctx, interval) {
+		if !retry.Sleep(ctx, interval) {
 			return
 		}
 		id, leaseIDs := w.snapshot()
@@ -258,37 +267,34 @@ func (w *Worker) executeRange(ctx context.Context, lease *Lease) ([]float64, int
 	return values, completed, nil
 }
 
-// upload posts a result with retries; a stale acknowledgement or a lapsed
-// registration just drops the result — the coordinator has already
-// rearranged the work.
+// upload posts a result with jittered, bounded retries; a stale
+// acknowledgement or a lapsed registration permanently drops the result —
+// the coordinator has already rearranged the work.
 func (w *Worker) upload(ctx context.Context, result ResultRequest) {
-	delay := 100 * time.Millisecond
-	for attempt := 0; attempt < 4; attempt++ {
+	policy := retry.Policy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Attempts: 4, PerAttempt: 15 * time.Second}
+	err := policy.Do(ctx, func(ctx context.Context) error {
 		result.WorkerID = w.workerID()
 		var resp ResultResponse
 		err := w.post(ctx, "/v1/cluster/result", result, &resp)
 		switch {
 		case errors.Is(err, errStaleWorker):
 			w.logf("worker: registration lapsed; dropping lease %s result", result.LeaseID)
-			return
+			return retry.Permanent(err)
 		case err != nil:
-			if ctx.Err() != nil {
-				return
+			if ctx.Err() == nil {
+				w.logf("worker: upload of lease %s failed: %v", result.LeaseID, err)
 			}
-			w.logf("worker: upload of lease %s failed: %v", result.LeaseID, err)
-			if !sleep(ctx, delay) {
-				return
-			}
-			delay *= 2
-			continue
+			return err
 		case resp.Stale:
 			w.logf("worker: lease %s result was stale", result.LeaseID)
-			return
+			return nil
 		default:
-			return
+			return nil
 		}
+	})
+	if err != nil && ctx.Err() == nil && !errors.Is(err, errStaleWorker) {
+		w.logf("worker: giving up on lease %s result: %v", result.LeaseID, err)
 	}
-	w.logf("worker: giving up on lease %s result", result.LeaseID)
 }
 
 // requestLease polls the coordinator for work.
@@ -376,16 +382,4 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 		return fmt.Errorf("cluster: %s: status %d", path, resp.StatusCode)
 	}
 	return json.Unmarshal(data, out)
-}
-
-// sleep waits for d or ctx, reporting whether the full duration elapsed.
-func sleep(ctx context.Context, d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
 }

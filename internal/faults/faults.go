@@ -1,0 +1,257 @@
+// Package faults is a deterministic, seedable fault injector for the
+// cluster HTTP boundary. An Injector wraps an http.Handler and, per request,
+// draws from a seeded RNG to decide whether to serve it cleanly, delay it,
+// answer 500, stall it, or drop the connection outright — the failure modes
+// a real network inflicts on the coordinator/worker protocol, produced on
+// demand so the recovery paths (retry with backoff, lease expiry, upload
+// replay, crash recovery) are exercised by tests and smoke tooling instead
+// of trusted.
+//
+// Determinism is sequence-level: given the same plan (including its seed)
+// and the same arrival order of requests, the injector makes the same
+// decisions. Tests that serialize their requests get fully reproducible
+// fault schedules; concurrent smoke runs get a reproducible distribution.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Plan is a fault schedule: independent probabilities for each fault mode,
+// drawn per request. Probabilities are in [0, 1]; modes are checked in the
+// order drop, stall, error, delay, and at most one fires per request
+// (delay excepted — a delayed request is then served normally).
+type Plan struct {
+	// Seed seeds the decision RNG; equal plans make equal decisions.
+	Seed uint64
+	// Drop is the probability the connection is severed with no response —
+	// the client sees a reset, not a status.
+	Drop float64
+	// Stall is the probability the request hangs for StallFor (bounded by
+	// the client's patience) and is then severed. Models a half-dead peer.
+	Stall    float64
+	StallFor time.Duration
+	// Error is the probability of an immediate 500 response.
+	Error float64
+	// Delay is the probability the request is held for DelayFor before
+	// being served normally. Models latency spikes.
+	Delay    float64
+	DelayFor time.Duration
+}
+
+// zero reports whether the plan injects nothing.
+func (p Plan) zero() bool {
+	return p.Drop == 0 && p.Stall == 0 && p.Error == 0 && p.Delay == 0
+}
+
+// String renders the plan in the spec syntax ParsePlan accepts.
+func (p Plan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	if p.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.Drop))
+	}
+	if p.Stall > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%s:%g", p.StallFor, p.Stall))
+	}
+	if p.Error > 0 {
+		parts = append(parts, fmt.Sprintf("error=%g", p.Error))
+	}
+	if p.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%s:%g", p.DelayFor, p.Delay))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses a comma-separated fault spec, the -chaos flag syntax:
+//
+//	seed=N            RNG seed (default 1)
+//	drop=P            sever the connection with probability P
+//	error=P           answer 500 with probability P
+//	delay=DUR:P       hold the request DUR with probability P, then serve
+//	stall=DUR:P       hang DUR with probability P, then sever
+//
+// Example: "seed=7,drop=0.05,error=0.1,delay=30ms:0.2,stall=2s:0.01".
+func ParsePlan(spec string) (Plan, error) {
+	p := Plan{Seed: 1}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faults: seed %q: %w", v, err)
+			}
+			p.Seed = n
+		case "drop":
+			prob, err := parseProb(v)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Drop = prob
+		case "error":
+			prob, err := parseProb(v)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Error = prob
+		case "delay":
+			d, prob, err := parseTimedProb(v)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.DelayFor, p.Delay = d, prob
+		case "stall":
+			d, prob, err := parseTimedProb(v)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.StallFor, p.Stall = d, prob
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown fault mode %q", k)
+		}
+	}
+	if sum := p.Drop + p.Stall + p.Error + p.Delay; sum > 1 {
+		return Plan{}, fmt.Errorf("faults: mode probabilities sum to %g > 1", sum)
+	}
+	return p, nil
+}
+
+func parseProb(v string) (float64, error) {
+	prob, err := strconv.ParseFloat(v, 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return 0, fmt.Errorf("faults: probability %q is not in [0, 1]", v)
+	}
+	return prob, nil
+}
+
+func parseTimedProb(v string) (time.Duration, float64, error) {
+	ds, ps, ok := strings.Cut(v, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("faults: %q is not duration:probability", v)
+	}
+	d, err := time.ParseDuration(ds)
+	if err != nil || d < 0 {
+		return 0, 0, fmt.Errorf("faults: duration %q: %v", ds, err)
+	}
+	prob, err := parseProb(ps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d, prob, nil
+}
+
+// Stats counts injected faults by mode.
+type Stats struct {
+	Requests int64 `json:"requests"`
+	Dropped  int64 `json:"dropped"`
+	Stalled  int64 `json:"stalled"`
+	Errored  int64 `json:"errored"`
+	Delayed  int64 `json:"delayed"`
+}
+
+// Injector injects a Plan's faults into a wrapped handler. Safe for
+// concurrent use; decisions are serialized on one seeded RNG, so the
+// decision sequence is a pure function of the plan and arrival order.
+type Injector struct {
+	plan Plan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New returns an injector for the plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(int64(plan.Seed)))}
+}
+
+// decision is one fault draw.
+type decision int
+
+const (
+	serve decision = iota
+	drop
+	stall
+	errorOut
+	delay
+)
+
+// decide draws the next fault decision.
+func (i *Injector) decide() decision {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.stats.Requests++
+	u := i.rng.Float64()
+	p := i.plan
+	switch {
+	case u < p.Drop:
+		i.stats.Dropped++
+		return drop
+	case u < p.Drop+p.Stall:
+		i.stats.Stalled++
+		return stall
+	case u < p.Drop+p.Stall+p.Error:
+		i.stats.Errored++
+		return errorOut
+	case u < p.Drop+p.Stall+p.Error+p.Delay:
+		i.stats.Delayed++
+		return delay
+	}
+	return serve
+}
+
+// Stats snapshots the injection counters.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// Wrap returns h with the plan's faults injected in front of it. A zero
+// plan returns h unchanged.
+func (i *Injector) Wrap(h http.Handler) http.Handler {
+	if i.plan.zero() {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch i.decide() {
+		case drop:
+			// ErrAbortHandler severs the connection without a response — the
+			// sanctioned way to make net/http hang up mid-request.
+			panic(http.ErrAbortHandler)
+		case stall:
+			wait(r, i.plan.StallFor)
+			panic(http.ErrAbortHandler)
+		case errorOut:
+			http.Error(w, `{"error":"injected fault"}`, http.StatusInternalServerError)
+		case delay:
+			wait(r, i.plan.DelayFor)
+			h.ServeHTTP(w, r)
+		default:
+			h.ServeHTTP(w, r)
+		}
+	})
+}
+
+// wait sleeps d or until the client gives up on the request.
+func wait(r *http.Request, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.Context().Done():
+	case <-t.C:
+	}
+}

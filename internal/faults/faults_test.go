@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestParsePlanRoundTrip: the spec syntax parses into the expected plan and
+// String renders back an equivalent spec.
+func TestParsePlanRoundTrip(t *testing.T) {
+	p, err := ParsePlan("seed=7,drop=0.05,error=0.1,delay=30ms:0.2,stall=2s:0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, Drop: 0.05, Error: 0.1, Delay: 0.2, DelayFor: 30 * time.Millisecond, Stall: 0.01, StallFor: 2 * time.Second}
+	if p != want {
+		t.Fatalf("ParsePlan = %+v, want %+v", p, want)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Errorf("String round trip = %+v, want %+v", p2, p)
+	}
+}
+
+// TestParsePlanRejects: malformed specs fail loudly.
+func TestParsePlanRejects(t *testing.T) {
+	for _, spec := range []string{
+		"drop",               // no value
+		"drop=1.5",           // probability out of range
+		"delay=0.5",          // missing duration
+		"delay=abc:0.5",      // bad duration
+		"warp=0.5",           // unknown mode
+		"drop=0.6,error=0.6", // over-full distribution
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a malformed spec", spec)
+		}
+	}
+	if p, err := ParsePlan(""); err != nil || !p.zero() {
+		t.Errorf("empty spec = %+v, %v; want the zero plan", p, err)
+	}
+}
+
+// TestInjectorDeterminism: two injectors with the same plan make the same
+// decision sequence.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Drop: 0.2, Error: 0.3}
+	a, b := New(plan), New(plan)
+	for i := 0; i < 500; i++ {
+		if da, db := a.decide(), b.decide(); da != db {
+			t.Fatalf("decision %d diverged: %v vs %v", i, da, db)
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Errorf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.Dropped == 0 || sa.Errored == 0 {
+		t.Errorf("500 draws at p=0.2/0.3 injected nothing: %+v", sa)
+	}
+}
+
+// TestInjectorFaultModes: errors surface as 500s, drops as transport
+// errors, and clean requests pass through.
+func TestInjectorFaultModes(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+
+	// Always-error plan.
+	ts := httptest.NewServer(New(Plan{Seed: 1, Error: 1}).Wrap(inner))
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("error mode served status %d, want 500", resp.StatusCode)
+	}
+	ts.Close()
+
+	// Always-drop plan: the client sees a transport failure, not a status.
+	ts = httptest.NewServer(New(Plan{Seed: 1, Drop: 1}).Wrap(inner))
+	if resp, err := http.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Error("drop mode returned a response, want a severed connection")
+	}
+	ts.Close()
+
+	// Zero plan: passthrough, byte for byte.
+	ts = httptest.NewServer(New(Plan{Seed: 1}).Wrap(inner))
+	defer ts.Close()
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Errorf("zero plan served %q, want ok", body)
+	}
+}
+
+// TestInjectorDelayServes: a delayed request is still served correctly
+// after the hold.
+func TestInjectorDelayServes(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "late")
+	})
+	ts := httptest.NewServer(New(Plan{Seed: 1, Delay: 1, DelayFor: 10 * time.Millisecond}).Wrap(inner))
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "late" {
+		t.Errorf("delayed request served %q", body)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("delay mode served after %v, want >= 10ms", elapsed)
+	}
+}

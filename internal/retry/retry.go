@@ -1,0 +1,149 @@
+// Package retry is the module's one retry/backoff discipline: capped
+// exponential backoff with full jitter, context-aware sleeping, optional
+// per-attempt timeouts, and a Permanent escape hatch for errors that must
+// not be retried. Every worker→coordinator path (registration, lease
+// polling, result upload) runs through a Policy, so transient network and
+// coordinator failures — including the coordinator being SIGKILLed and
+// restarted mid-run — are absorbed in one place instead of by ad-hoc loops.
+//
+// Full jitter (delay drawn uniformly from [0, min(cap, base·2^attempt)])
+// follows the standard AWS analysis: under correlated failures — a fleet of
+// workers all losing their coordinator at once — it spreads the retry storm
+// across the whole window instead of synchronizing it.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes one backoff discipline. The zero value retries forever
+// with a 100ms base and a 5s cap; policies are values and safe to copy.
+type Policy struct {
+	// Base is the backoff before the second attempt (<= 0 selects 100ms).
+	// Attempt k (zero-based) waits up to Base·2^k, capped at Cap.
+	Base time.Duration
+	// Cap bounds a single backoff delay (<= 0 selects 5s).
+	Cap time.Duration
+	// Attempts bounds the number of attempts (<= 0 means retry until the
+	// context is cancelled or the error is permanent).
+	Attempts int
+	// PerAttempt, when > 0, bounds each attempt with its own context
+	// deadline, so one hung request cannot stall the whole retry loop.
+	PerAttempt time.Duration
+	// Jitter is the uniform [0,1) source for full jitter (nil selects the
+	// global math/rand source). Tests pin a seeded source to make backoff
+	// sequences reproducible.
+	Jitter func() float64
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps an error so Do stops immediately and returns the wrapped
+// error unretried: the failure is a protocol fact (a stale lease, a lapsed
+// registration), not a transient fault.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// jitterMu guards the global math/rand fallback: Policy values are shared
+// across goroutines (every worker upload uses one), and rand.Float64's
+// global source is locked internally, but a caller-supplied source is not —
+// so the fallback stays on the global source.
+var jitterMu sync.Mutex
+
+// Delay returns the full-jitter backoff before attempt+1 (attempt is
+// zero-based): uniform in [0, min(Cap, Base·2^attempt)]. Exposed so loops
+// with their own control flow — the worker's lease poll, which must
+// re-register on 404 rather than blindly retry — can still share the
+// discipline.
+func (p Policy) Delay(attempt int) time.Duration {
+	base, cap := p.Base, p.Cap
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	var u float64
+	if p.Jitter != nil {
+		u = p.Jitter()
+	} else {
+		jitterMu.Lock()
+		u = rand.Float64()
+		jitterMu.Unlock()
+	}
+	return time.Duration(u * float64(d))
+}
+
+// Do runs op until it succeeds, returns a Permanent error, exhausts
+// Attempts, or ctx is cancelled. Each attempt sees a context bounded by
+// PerAttempt when set; between attempts Do sleeps the jittered backoff,
+// aborting early if ctx is cancelled. The returned error is the last
+// attempt's (unwrapped from Permanent), except that cancellation with no
+// failed attempt yet returns ctx.Err().
+func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if p.PerAttempt > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.PerAttempt)
+		}
+		err := op(attemptCtx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if p.Attempts > 0 && attempt+1 >= p.Attempts {
+			return fmt.Errorf("after %d attempts: %w", p.Attempts, last)
+		}
+		if !Sleep(ctx, p.Delay(attempt)) {
+			return last
+		}
+	}
+}
+
+// Sleep waits for d or until ctx is cancelled, reporting whether the full
+// duration elapsed.
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

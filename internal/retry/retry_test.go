@@ -1,0 +1,163 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fast is a test policy whose sleeps are negligible.
+func fast(attempts int) Policy {
+	return Policy{Base: time.Microsecond, Cap: 10 * time.Microsecond, Attempts: attempts}
+}
+
+// TestDoSucceedsAfterTransientFailures: Do retries transient errors and
+// returns nil once the operation succeeds.
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := fast(0).Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 4 {
+		t.Errorf("op ran %d times, want 4", calls)
+	}
+}
+
+// TestDoAttemptsExhausted: a bounded policy stops after Attempts tries and
+// surfaces the last error.
+func TestDoAttemptsExhausted(t *testing.T) {
+	sentinel := errors.New("still down")
+	calls := 0
+	err := fast(3).Do(context.Background(), func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Do = %v, want wrapped %v", err, sentinel)
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+}
+
+// TestDoPermanentStopsImmediately: a Permanent error is returned unwrapped
+// after a single attempt.
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	sentinel := errors.New("stale lease")
+	calls := 0
+	err := fast(0).Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if err != sentinel {
+		t.Fatalf("Do = %v, want the unwrapped sentinel", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1", calls)
+	}
+}
+
+// TestDoContextCancellation: cancelling the context aborts the backoff
+// sleep and returns the last attempt's error.
+func TestDoContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("down")
+	p := Policy{Base: time.Hour, Cap: time.Hour}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, func(context.Context) error { return sentinel })
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sentinel) {
+			t.Errorf("Do = %v, want %v", err, sentinel)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+}
+
+// TestDoCancelledBeforeFirstAttempt: a pre-cancelled context returns
+// ctx.Err() without running the operation.
+func TestDoCancelledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := fast(0).Do(ctx, func(context.Context) error {
+		t.Fatal("op ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Do = %v, want context.Canceled", err)
+	}
+}
+
+// TestPerAttemptTimeout: each attempt sees its own deadline, so a hung
+// operation cannot stall the loop.
+func TestPerAttemptTimeout(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Attempts: 2, PerAttempt: 5 * time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want deadline exceeded", err)
+	}
+	if calls != 2 {
+		t.Errorf("op ran %d times, want 2", calls)
+	}
+}
+
+// TestDelayCapAndGrowth: delays are full-jitter draws bounded by the capped
+// exponential envelope, and a seeded source makes them reproducible.
+func TestDelayCapAndGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: rng.Float64}
+	for attempt := 0; attempt < 10; attempt++ {
+		envelope := 100 * time.Millisecond << uint(attempt)
+		if envelope > time.Second {
+			envelope = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Delay(attempt)
+			if d < 0 || d > envelope {
+				t.Fatalf("Delay(%d) = %v outside [0, %v]", attempt, d, envelope)
+			}
+		}
+	}
+
+	a := Policy{Base: time.Second, Cap: time.Minute, Jitter: rand.New(rand.NewSource(7)).Float64}
+	b := Policy{Base: time.Second, Cap: time.Minute, Jitter: rand.New(rand.NewSource(7)).Float64}
+	for attempt := 0; attempt < 8; attempt++ {
+		if da, db := a.Delay(attempt), b.Delay(attempt); da != db {
+			t.Fatalf("seeded delays diverge at attempt %d: %v vs %v", attempt, da, db)
+		}
+	}
+}
+
+// TestSleepHonorsContext: Sleep reports false when cancelled early.
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	if Sleep(ctx, time.Hour) {
+		t.Error("Sleep(1h) reported a full elapse under a cancelled context")
+	}
+	if !Sleep(context.Background(), time.Microsecond) {
+		t.Error("Sleep(1us) reported cancellation on a live context")
+	}
+}

@@ -61,13 +61,18 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	// MaxBytesReader (rather than a bare LimitReader) also closes the
+	// connection after an oversized body, so a client cannot keep streaming
+	// into a request that is already refused.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
-		return
-	}
-	if len(body) > maxBodyBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, errors.New("request body exceeds 1 MiB"))
 		return
 	}
 	var req SubmitRequest
@@ -116,12 +121,21 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	view, err := s.submit(sc, canonical, req.Reps, req.Seed)
+	var unavailable *UnavailableError
 	switch {
 	case err == nil:
 	case errors.Is(err, errQueueFull):
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, errShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.As(err, &unavailable):
+		// Fail fast: the backend cannot execute new work right now (e.g. a
+		// cluster with zero live workers). Tell the client when to come back.
+		if unavailable.RetryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(int(unavailable.RetryAfter.Seconds())))
+		}
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	default:

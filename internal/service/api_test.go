@@ -35,7 +35,10 @@ func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	if cfg.Version == "" {
 		cfg.Version = "test"
 	}
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()

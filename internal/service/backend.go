@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"time"
 
 	"dynamicrumor/internal/engine"
 	"dynamicrumor/internal/sim"
@@ -23,6 +24,10 @@ type BackendRun struct {
 	// same normalized document the cache key was derived from).
 	Scenario  engine.Scenario
 	Canonical []byte
+	// Key is the run's cache key (sha256 over canonical + seed + reps). A
+	// crash-recovering backend uses it to re-adopt journalled state for the
+	// run without recomputing the hash.
+	Key string
 	// Reps and Seed are the ensemble inputs.
 	Reps int
 	Seed uint64
@@ -52,6 +57,29 @@ type BackendResult struct {
 // settles the run with ctx.Err() at the backend's earliest safe boundary.
 type Backend interface {
 	Run(ctx context.Context, run BackendRun) (BackendResult, error)
+}
+
+// UnavailableError is returned by a backend's Ready when it cannot execute
+// new work right now but expects to again — a distributed backend with zero
+// live workers, for instance. The API layer maps it to 503 with a
+// Retry-After header, so clients fail fast instead of queueing into a
+// backend that cannot drain.
+type UnavailableError struct {
+	// Reason is the operator-readable cause.
+	Reason string
+	// RetryAfter is the suggested wait before resubmitting.
+	RetryAfter time.Duration
+}
+
+func (e *UnavailableError) Error() string { return e.Reason }
+
+// readyChecker is implemented by backends that can be temporarily unable to
+// execute new runs. Ready returns nil when submissions can be accepted and
+// an *UnavailableError when they should be refused; the scheduler consults
+// it only for submissions that need new work (cache hits and coalesced
+// followers are served regardless).
+type readyChecker interface {
+	Ready() error
 }
 
 // LocalBackend executes runs in-process on the batch engine — the single-node

@@ -62,6 +62,9 @@ type job struct {
 	reps      int
 	seed      uint64
 	cacheHit  bool
+	// journaled marks a job recorded in the durable run ledger; its terminal
+	// transition must be journalled too, or a restart re-runs it.
+	journaled bool
 
 	workers         int
 	repsDone        atomic.Int64

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/store"
+)
+
+// The service's durable run ledger (enabled by Config.StateDir): every
+// accepted leader job is journalled at submission, and again when it reaches
+// a client-visible terminal state. On restart, submissions without a
+// settlement are re-adopted — re-created under their original IDs and
+// re-enqueued in their original order — so a SIGKILL'd daemon resumes its
+// in-flight work and clients polling GET /v1/runs/{id} pick up where they
+// left off. Shutdown cancellations are deliberately NOT journalled as
+// settlements: a graceful stop and a crash leave the same ledger, and both
+// resume identically.
+//
+// Followers and cache hits are never journalled — a follower's result is
+// its leader's, and a cache hit's result is already durable in the disk
+// cache — so the ledger holds exactly the runs that own work.
+
+// Journal record types of the service ledger.
+const (
+	recSubmit byte = 1 // a leader job was accepted
+	recSettle byte = 2 // that job reached a client-visible terminal state
+)
+
+// journalCompactBytes is the ledger size that triggers snapshot compaction.
+const journalCompactBytes = 1 << 20
+
+// submitRecord is the recSubmit payload.
+type submitRecord struct {
+	ID          string          `json:"id"`
+	Canonical   json.RawMessage `json:"canonical"`
+	Reps        int             `json:"reps"`
+	Seed        uint64          `json:"seed"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+}
+
+// settleRecord is the recSettle payload.
+type settleRecord struct {
+	ID string `json:"id"`
+}
+
+// openLedger opens the service journal under dir, replays it into the
+// not-yet-settled submission list, and re-adopts those jobs. Called from
+// New before the dispatcher starts; no locking needed.
+func (s *Service) openLedger(path string) error {
+	var order []string
+	pending := make(map[string]submitRecord)
+	j, err := store.OpenJournal(path, func(rec store.Record) error {
+		switch rec.Type {
+		case recSubmit:
+			var sr submitRecord
+			if err := json.Unmarshal(rec.Payload, &sr); err != nil {
+				return fmt.Errorf("submit record: %w", err)
+			}
+			if _, ok := pending[sr.ID]; !ok {
+				order = append(order, sr.ID)
+			}
+			pending[sr.ID] = sr
+		case recSettle:
+			var st settleRecord
+			if err := json.Unmarshal(rec.Payload, &st); err != nil {
+				return fmt.Errorf("settle record: %w", err)
+			}
+			delete(pending, st.ID)
+		}
+		// Unknown record types are skipped: an older binary replaying a newer
+		// ledger recovers what it understands.
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	for _, id := range order {
+		sr, ok := pending[id]
+		if !ok {
+			continue
+		}
+		s.recoverJob(sr)
+	}
+	// Compact at startup: settled pairs and any skipped records are dropped,
+	// leaving one submit record per live job.
+	return s.compactLedgerLocked()
+}
+
+// recoverJob re-adopts one journalled, unsettled submission: served from
+// the (disk) cache if its result is already durable, coalesced onto an
+// identical recovered run, or re-enqueued under its original ID.
+func (s *Service) recoverJob(sr submitRecord) {
+	sc, err := engine.Parse(sr.Canonical)
+	if err != nil {
+		// The ledger outlived a scenario schema change; dropping the job is
+		// the only option that lets the daemon start.
+		s.logf("service: recovery: job %s scenario no longer parses, dropping: %v", sr.ID, err)
+		return
+	}
+	key := runKey(sr.Canonical, sr.Seed, sr.Reps)
+	now := s.clock()
+	j := &job{
+		id:        sr.ID,
+		scenario:  sc,
+		canonical: sr.Canonical,
+		key:       key,
+		reps:      sr.Reps,
+		seed:      sr.Seed,
+		submitted: sr.SubmittedAt,
+		journaled: true,
+	}
+	if j.submitted.IsZero() {
+		j.submitted = now
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if n, err := strconv.Atoi(strings.TrimPrefix(sr.ID, "j")); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+	s.jobsRecovered++
+
+	if summary, ok := s.lookupCacheLocked(key); ok {
+		// The run completed and its summary was durably cached before the
+		// crash; only the settle record was lost. Settle it now, identically.
+		j.state = StateDone
+		j.cacheHit = true
+		j.started, j.finished = now, now
+		j.summary = summary
+		s.terminal++
+		s.logf("service: recovery: job %s settled from the durable cache", j.id)
+		return
+	}
+	if leader, ok := s.inflight[key]; ok {
+		j.state = StateQueued
+		j.leader = leader
+		leader.followers = append(leader.followers, j)
+		s.logf("service: recovery: job %s coalesced onto recovered run %s", j.id, leader.id)
+		return
+	}
+	j.state = StateQueued
+	s.queue = append(s.queue, j)
+	s.inflight[key] = j
+	s.recoveredKeys = append(s.recoveredKeys, key)
+	s.logf("service: recovery: job %s re-enqueued (%d reps, seed %d)", j.id, j.reps, j.seed)
+}
+
+// RecoveredKeys lists the run keys of jobs re-adopted into the queue at
+// startup. A distributed backend prunes its own recovered run state against
+// this set — a key the service no longer owns will never be re-submitted.
+func (s *Service) RecoveredKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.recoveredKeys...)
+}
+
+// journalSubmitLocked durably records an accepted leader job. An append
+// failure is surfaced to the submitter — acknowledging a run the ledger
+// cannot replay would break the durability contract. Callers hold the mutex.
+func (s *Service) journalSubmitLocked(j *job) error {
+	if s.journal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(submitRecord{
+		ID: j.id, Canonical: j.canonical, Reps: j.reps, Seed: j.seed, SubmittedAt: j.submitted,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.journal.Append(store.Record{Type: recSubmit, Payload: payload}); err != nil {
+		return err
+	}
+	j.journaled = true
+	return nil
+}
+
+// journalSettleLocked records a client-visible terminal transition of a
+// journalled job, then compacts the ledger if it has grown past the
+// threshold. Settle-record loss is harmless — the run would be re-adopted
+// and served from the durable cache — so failures are logged, not fatal.
+// Callers hold the mutex.
+func (s *Service) journalSettleLocked(j *job) {
+	if s.journal == nil || !j.journaled {
+		return
+	}
+	payload, err := json.Marshal(settleRecord{ID: j.id})
+	if err == nil {
+		err = s.journal.Append(store.Record{Type: recSettle, Payload: payload})
+	}
+	if err != nil {
+		s.logf("service: journal settle of %s: %v", j.id, err)
+		return
+	}
+	if s.journal.Size() > journalCompactBytes {
+		if err := s.compactLedgerLocked(); err != nil {
+			s.logf("service: journal compaction: %v", err)
+		}
+	}
+}
+
+// compactLedgerLocked rewrites the journal to one submit record per live
+// journalled job — the snapshot that keeps the ledger's size proportional
+// to in-flight work, not lifetime submissions. Callers hold the mutex (or
+// are in single-threaded startup).
+func (s *Service) compactLedgerLocked() error {
+	if s.journal == nil {
+		return nil
+	}
+	var records []store.Record
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if !j.journaled || j.state.Terminal() {
+			continue
+		}
+		payload, err := json.Marshal(submitRecord{
+			ID: j.id, Canonical: j.canonical, Reps: j.reps, Seed: j.seed, SubmittedAt: j.submitted,
+		})
+		if err != nil {
+			return err
+		}
+		records = append(records, store.Record{Type: recSubmit, Payload: payload})
+	}
+	if err := s.journal.Rewrite(records); err != nil {
+		return err
+	}
+	s.compactions++
+	return nil
+}

@@ -75,6 +75,22 @@ func (s *Service) writePrometheus(w http.ResponseWriter) {
 		gauge("rumord_cluster_workers", "Registered, live cluster worker processes.", i(int64(m.Cluster.Workers)))
 		gauge("rumord_cluster_leases_outstanding", "Rep-range leases currently held by workers.", i(int64(m.Cluster.LeasesOutstanding)))
 		counter("rumord_cluster_leases_reassigned_total", "Leases reclaimed from dead workers and returned to the pool.", i(m.Cluster.LeasesReassigned))
+		counter("rumord_cluster_runs_readopted_total", "In-flight runs re-adopted from the coordinator journal at startup.", i(m.Cluster.RunsReadopted))
+		counter("rumord_cluster_shards_replayed_total", "Journalled shard uploads replayed through the exact merger during recovery.", i(m.Cluster.ShardsReplayed))
+	}
+
+	if m.Durability != nil {
+		counter("rumord_jobs_recovered_total", "Submissions re-adopted from the run ledger at startup.", i(m.Durability.JobsRecovered))
+		gauge("rumord_journal_bytes", "Current size of the run ledger on disk.", i(m.Durability.JournalBytes))
+		counter("rumord_journal_compactions_total", "Snapshot compactions of the run ledger.", i(m.Durability.JournalCompactions))
+		if dc := m.Durability.DiskCache; dc != nil {
+			counter("rumord_disk_cache_hits_total", "Persistent cache reads served.", i(dc.Hits))
+			counter("rumord_disk_cache_misses_total", "Persistent cache reads that missed.", i(dc.Misses))
+			counter("rumord_disk_cache_corrupt_total", "Corrupt persistent cache entries quarantined.", i(dc.Corrupt))
+			counter("rumord_disk_cache_evictions_total", "Persistent cache entries evicted by the byte budget.", i(dc.Evictions))
+			gauge("rumord_disk_cache_entries", "Persistent cache entries resident.", i(int64(dc.Entries)))
+			gauge("rumord_disk_cache_bytes", "Persistent cache bytes resident.", i(dc.Bytes))
+		}
 	}
 
 	w.Header().Set("Content-Type", promContentType)

@@ -2,8 +2,10 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"dynamicrumor/internal/engine"
 	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/sim"
+	"dynamicrumor/internal/store"
 )
 
 // Config carries the service policy knobs. The zero value selects sensible
@@ -53,6 +56,22 @@ type Config struct {
 	// Version is the build identity served by /healthz and /metrics (empty
 	// selects buildinfo.Version()).
 	Version string
+	// CacheDir, when set, layers a disk-backed persistent result cache under
+	// the in-memory one: completed summaries are written through (atomic,
+	// checksummed, content-addressed by run key), survive restarts, and are
+	// replayed byte-identically. Corrupt entries are quarantined and treated
+	// as misses, never served.
+	CacheDir string
+	// CacheMaxBytes bounds the disk cache's total size; least-recently-used
+	// entries are evicted beyond it (<= 0 selects 256 MiB).
+	CacheMaxBytes int64
+	// StateDir, when set, enables the durable run ledger: accepted jobs are
+	// journalled (fsync'd before the submission is acknowledged) and
+	// re-adopted on restart, so in-flight runs survive SIGKILL. A cluster
+	// coordinator sharing the directory keeps its own journal there too.
+	StateDir string
+	// Logf, when non-nil, receives durability and recovery events.
+	Logf func(format string, args ...any)
 	// Clock overrides the time source (tests pin it for golden responses).
 	Clock func() time.Time
 }
@@ -68,6 +87,7 @@ type Service struct {
 	backend       Backend
 	version       string
 	clock         func() time.Time
+	logf          func(format string, args ...any)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -88,6 +108,13 @@ type Service struct {
 	coalesced int64
 	started   time.Time
 
+	// Durability layer (nil / zero when CacheDir / StateDir are unset).
+	disk          *store.Cache
+	journal       *store.Journal
+	jobsRecovered int64
+	recoveredKeys []string
+	compactions   int64
+
 	// repsDone counts every reduced repetition, including those of jobs that
 	// were later cancelled; finishedReps/busy only aggregate jobs that ran to
 	// completion, so reps-per-second is a throughput of useful work.
@@ -98,12 +125,17 @@ type Service struct {
 	wg sync.WaitGroup
 }
 
-// New starts a service (its dispatcher goroutine runs until Close).
-func New(cfg Config) *Service {
+// New starts a service (its dispatcher goroutine runs until Close). With
+// Config.StateDir it replays the run ledger first, re-adopting every
+// submission that had not settled when the previous process died; with
+// Config.CacheDir it opens the persistent result cache. Either failing to
+// open is a startup error — running without the durability the operator
+// asked for would be a silent downgrade.
+func New(cfg Config) (*Service, error) {
 	switch cfg.DefaultStream {
 	case 0, sim.StreamV1, sim.StreamV2:
 	default:
-		panic(fmt.Sprintf("service: invalid DefaultStream %d (want 0, 1 or 2)", cfg.DefaultStream))
+		return nil, fmt.Errorf("service: invalid DefaultStream %d (want 0, 1 or 2)", cfg.DefaultStream)
 	}
 	s := &Service{
 		budget:        runner.Parallelism(cfg.Budget),
@@ -114,6 +146,7 @@ func New(cfg Config) *Service {
 		backend:       cfg.Backend,
 		version:       cfg.Version,
 		clock:         cfg.Clock,
+		logf:          cfg.Logf,
 	}
 	if s.backend == nil {
 		s.backend = LocalBackend{}
@@ -133,6 +166,9 @@ func New(cfg Config) *Service {
 	if s.clock == nil {
 		s.clock = time.Now
 	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
 	cacheLimit := cfg.CacheLimit
 	if cacheLimit <= 0 {
 		cacheLimit = 1024
@@ -143,9 +179,23 @@ func New(cfg Config) *Service {
 	s.inflight = make(map[string]*job)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.started = s.clock()
+	if cfg.CacheDir != "" {
+		disk, err := store.OpenCache(cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+	}
+	if cfg.StateDir != "" {
+		// Replay and re-adoption happen before the dispatcher exists, so the
+		// recovered queue is complete before anything is granted workers.
+		if err := s.openLedger(filepath.Join(cfg.StateDir, "service.journal")); err != nil {
+			return nil, err
+		}
+	}
 	s.wg.Add(1)
 	go s.dispatch()
-	return s
+	return s, nil
 }
 
 // Close stops the service: queued jobs are cancelled, running jobs are
@@ -167,6 +217,11 @@ func (s *Service) Close() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.logf("service: journal close: %v", err)
+		}
+	}
 }
 
 // submit validates a submission and either answers it from the cache or
@@ -181,7 +236,7 @@ func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed ui
 		return JobView{}, errShutdown
 	}
 	now := s.clock()
-	if summary, ok := s.cache.get(key); ok {
+	if summary, ok := s.lookupCacheLocked(key); ok {
 		s.hits++
 		j := s.newJobLocked(sc, canonical, key, reps, seed, now)
 		j.state = StateDone
@@ -203,16 +258,51 @@ func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed ui
 		leader.followers = append(leader.followers, j)
 		return j.view(), nil
 	}
+	// Only submissions that need new work consult backend readiness: cache
+	// hits and coalesced followers are served above even when the backend
+	// has nothing to execute on.
+	if rc, ok := s.backend.(readyChecker); ok {
+		if err := rc.Ready(); err != nil {
+			return JobView{}, err
+		}
+	}
 	if len(s.queue) >= s.queueLimit {
 		return JobView{}, errQueueFull
 	}
 	s.misses++
 	j := s.newJobLocked(sc, canonical, key, reps, seed, now)
 	j.state = StateQueued
+	if err := s.journalSubmitLocked(j); err != nil {
+		// The ledger could not durably record the job; un-register it and
+		// refuse the submission rather than acknowledge a run a restart
+		// would silently forget.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.nextID--
+		return JobView{}, fmt.Errorf("journal submission: %w", err)
+	}
 	s.queue = append(s.queue, j)
 	s.inflight[key] = j
 	s.cond.Signal()
 	return j.view(), nil
+}
+
+// lookupCacheLocked consults the in-memory result cache and, on a miss, the
+// disk-backed one, promoting a disk hit back into memory. Callers hold the
+// mutex.
+func (s *Service) lookupCacheLocked(key string) (json.RawMessage, bool) {
+	if summary, ok := s.cache.get(key); ok {
+		return summary, true
+	}
+	if s.disk == nil {
+		return nil, false
+	}
+	payload, ok := s.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	s.cache.put(key, payload)
+	return payload, true
 }
 
 // pruneHistoryLocked forgets the oldest terminal job records beyond the
@@ -314,6 +404,7 @@ func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc,
 	res, err := s.backend.Run(ctx, BackendRun{
 		Scenario:  j.scenario,
 		Canonical: j.canonical,
+		Key:       j.key,
 		Reps:      j.reps,
 		Seed:      j.seed,
 		Workers:   workers,
@@ -338,6 +429,13 @@ func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc,
 		j.state = StateDone
 		j.summary = summary
 		s.cache.put(j.key, summary)
+		if s.disk != nil {
+			// Write through before the settle record: once the ledger calls a
+			// run settled, its result must be durably replayable.
+			if derr := s.disk.Put(j.key, summary); derr != nil {
+				s.logf("service: disk cache write of %s: %v", j.key, derr)
+			}
+		}
 		s.finishedReps += int64(j.reps)
 		s.busy += j.finished.Sub(j.started)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -348,6 +446,12 @@ func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc,
 		j.errMsg = err.Error()
 	}
 	s.terminal++
+	if !(j.state == StateCancelled && s.closed) {
+		// Shutdown cancellations are not settlements: a gracefully stopped
+		// daemon leaves the same ledger a crashed one would, and both resume
+		// the run on restart.
+		s.journalSettleLocked(j)
+	}
 	s.settleFollowersLocked(j)
 	s.pruneHistoryLocked()
 }
@@ -377,6 +481,8 @@ func (s *Service) settleFollowersLocked(leader *job) {
 			f.errMsg = leader.errMsg
 			f.started, f.finished = now, now
 			s.terminal++
+			// Recovered followers carry their own ledger entries; settle them.
+			s.journalSettleLocked(f)
 		}
 	case StateCancelled:
 		if s.closed {
@@ -394,6 +500,13 @@ func (s *Service) settleFollowersLocked(leader *job) {
 		next.followers = followers[1:]
 		for _, f := range next.followers {
 			f.leader = next
+		}
+		if !next.journaled {
+			// The promoted follower now owns the run; record it so a restart
+			// resumes it. Best effort — the submission was already accepted.
+			if err := s.journalSubmitLocked(next); err != nil {
+				s.logf("service: journal promoted follower %s: %v", next.id, err)
+			}
 		}
 		s.queue = append(s.queue, next)
 		s.inflight[next.key] = next
@@ -434,6 +547,7 @@ func (s *Service) cancelJob(id string) (JobView, error) {
 		j.errMsg = "cancelled before start"
 		j.finished = s.clock()
 		s.terminal++
+		s.journalSettleLocked(j)
 		s.settleFollowersLocked(j)
 		s.pruneHistoryLocked()
 		return j.view(), nil
@@ -512,6 +626,24 @@ type Metrics struct {
 	// Cluster carries the coordinator gauges when the backend is distributed;
 	// absent under the local backend.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Durability carries the persistent-cache and crash-recovery counters
+	// when -cache-dir or -state-dir is configured; absent otherwise.
+	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// DurabilityStats are the persistent-cache and crash-recovery counters.
+type DurabilityStats struct {
+	// DiskCache holds the persistent result cache counters (nil without
+	// -cache-dir).
+	DiskCache *store.CacheStats `json:"disk_cache,omitempty"`
+	// JobsRecovered counts submissions re-adopted from the run ledger at the
+	// last startup.
+	JobsRecovered int64 `json:"jobs_recovered"`
+	// JournalBytes is the current size of the run ledger on disk.
+	JournalBytes int64 `json:"journal_bytes"`
+	// JournalCompactions counts snapshot compactions of the run ledger over
+	// the daemon's lifetime.
+	JournalCompactions int64 `json:"journal_compactions"`
 }
 
 // ClusterStats are the coordinator-side gauges of a distributed backend.
@@ -523,6 +655,12 @@ type ClusterStats struct {
 	// LeasesReassigned counts leases reclaimed from dead or unresponsive
 	// workers and returned to the pool over the coordinator's lifetime.
 	LeasesReassigned int64 `json:"leases_reassigned"`
+	// RunsReadopted counts in-flight runs re-adopted from the coordinator
+	// journal at the last startup.
+	RunsReadopted int64 `json:"runs_readopted"`
+	// ShardsReplayed counts journalled shard uploads replayed through the
+	// exact merger during crash recovery.
+	ShardsReplayed int64 `json:"shards_replayed"`
 }
 
 // clusterStatser is implemented by distributed backends that export
@@ -568,6 +706,20 @@ func (s *Service) metrics() Metrics {
 	if cs, ok := s.backend.(clusterStatser); ok {
 		stats := cs.ClusterStats()
 		m.Cluster = &stats
+	}
+	if s.disk != nil || s.journal != nil {
+		d := &DurabilityStats{
+			JobsRecovered:      s.jobsRecovered,
+			JournalCompactions: s.compactions,
+		}
+		if s.disk != nil {
+			st := s.disk.Stats()
+			d.DiskCache = &st
+		}
+		if s.journal != nil {
+			d.JournalBytes = s.journal.Size()
+		}
+		m.Durability = d
 	}
 	return m
 }

@@ -71,11 +71,8 @@ func TestDefaultStreamOnlyTouchesAsync(t *testing.T) {
 	waitState(t, ts.URL, view.ID, StateDone)
 }
 
-func TestInvalidDefaultStreamPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New accepted DefaultStream 7")
-		}
-	}()
-	New(Config{DefaultStream: 7})
+func TestInvalidDefaultStreamRejected(t *testing.T) {
+	if _, err := New(Config{DefaultStream: 7}); err == nil {
+		t.Fatal("New accepted DefaultStream 7")
+	}
 }

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Disk cache entry layout:
+//
+//	magic "drc1" | uint32 payload length | sha256(payload) | payload
+//
+// The checksum is over the payload alone, verified on every read: a
+// truncated, bit-flipped or otherwise damaged entry is detected, moved into
+// the quarantine/ subdirectory for post-mortem, and reported as a miss —
+// corrupt bytes are never served. Writes are atomic (temp file, fsync,
+// rename, dir fsync), so a crash mid-put leaves either no entry or a
+// complete one.
+
+// cacheMagic identifies (and versions) the entry encoding.
+const cacheMagic = "drc1"
+
+// cacheHeaderLen is the fixed prefix before the payload.
+const cacheHeaderLen = len(cacheMagic) + 4 + sha256.Size
+
+// quarantineDir is the subdirectory corrupt entries are moved into.
+const quarantineDir = "quarantine"
+
+// CacheStats is a snapshot of the disk cache counters.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes; a corrupt entry counts as both a
+	// miss and a Corrupt quarantine.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Corrupt counts entries that failed their checksum and were quarantined.
+	Corrupt int64 `json:"corrupt_quarantined"`
+	// Evictions counts entries removed by the byte-budget LRU.
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes describe the resident set.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Cache is a content-addressed disk store: keys are the service's hex
+// run-key hashes, values opaque byte blobs (summary documents). Entries
+// survive process restarts; the resident set is bounded by a total-byte
+// budget with least-recently-used eviction. Safe for concurrent use.
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // key -> lru element
+	lru     *list.List               // front = most recent
+	bytes   int64
+	stats   CacheStats
+}
+
+// cacheEntry is the in-memory index record of one on-disk entry.
+type cacheEntry struct {
+	key  string
+	size int64 // on-disk file size, the unit of the byte budget
+}
+
+// OpenCache opens (creating if needed) a disk cache rooted at dir with a
+// total-size budget of maxBytes (<= 0 selects 256 MiB). Existing entries
+// are indexed by modification time — oldest first in the LRU — and leftover
+// temp files from crashed writes are swept; entry payloads are verified
+// lazily, on read.
+func OpenCache(dir string, maxBytes int64) (*Cache, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: cache dir: %w", err)
+	}
+	c := &Cache{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan cache dir: %w", err)
+	}
+	type scanned struct {
+		cacheEntry
+		mtime int64
+	}
+	var found []scanned
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+			continue
+		case strings.HasPrefix(name, ".tmp-"):
+			os.Remove(filepath.Join(dir, name)) // crashed write, never renamed
+			continue
+		case !validKey(name):
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{cacheEntry{key: name, size: info.Size()}, info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for _, e := range found {
+		c.entries[e.key] = c.lru.PushFront(e.cacheEntry)
+		c.bytes += e.size
+	}
+	c.evictLocked()
+	return c, nil
+}
+
+// validKey accepts the hex-digest keys the service produces; anything else
+// in the directory (editor droppings, the quarantine dir) is left alone.
+func validKey(name string) bool {
+	if len(name) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the cached payload for key. A checksum failure quarantines
+// the entry and reports a miss — the caller recomputes, never replays
+// corrupt bytes.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		c.miss()
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, key))
+	payload, verr := verifyEntry(data)
+	switch {
+	case err != nil:
+		// The file vanished under us (external cleanup): drop the index entry.
+		c.drop(key, el)
+		c.miss()
+		return nil, false
+	case verr != nil:
+		c.quarantine(key, el)
+		c.miss()
+		return nil, false
+	}
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(cur)
+	}
+	c.stats.Hits++
+	c.mu.Unlock()
+	return payload, true
+}
+
+// verifyEntry checks an entry's framing and checksum, returning the payload.
+func verifyEntry(data []byte) ([]byte, error) {
+	if len(data) < cacheHeaderLen || string(data[:len(cacheMagic)]) != cacheMagic {
+		return nil, fmt.Errorf("store: cache entry lacks %q magic", cacheMagic)
+	}
+	length := binary.LittleEndian.Uint32(data[len(cacheMagic):])
+	sum := data[len(cacheMagic)+4 : cacheHeaderLen]
+	payload := data[cacheHeaderLen:]
+	if uint32(len(payload)) != length {
+		return nil, fmt.Errorf("store: cache entry payload is %d bytes, header says %d", len(payload), length)
+	}
+	if got := sha256.Sum256(payload); string(got[:]) != string(sum) {
+		return nil, fmt.Errorf("store: cache entry checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Put durably stores payload under key: temp file, fsync, rename into
+// place, dir fsync. Re-putting an existing key is a no-op (equal keys mean
+// byte-identical payloads, so the first write wins harmlessly).
+func (c *Cache) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: cache key %q is not a hex digest", key)
+	}
+	c.mu.Lock()
+	_, exists := c.entries[key]
+	c.mu.Unlock()
+	if exists {
+		return nil
+	}
+
+	buf := make([]byte, 0, cacheHeaderLen+len(payload))
+	buf = append(buf, cacheMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	sum := sha256.Sum256(payload)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(c.dir, ".tmp-"+key[:8]+"-*")
+	if err != nil {
+		return fmt.Errorf("store: cache put: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: cache put: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: cache put fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: cache put close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, key)); err != nil {
+		return fmt.Errorf("store: cache put rename: %w", err)
+	}
+	if err := syncDir(c.dir); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = c.lru.PushFront(cacheEntry{key: key, size: int64(len(buf))})
+		c.bytes += int64(len(buf))
+		c.evictLocked()
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used entries until the byte budget
+// holds. The most recent entry always survives, even if it alone exceeds
+// the budget — a cache that refused its newest write would be useless.
+func (c *Cache) evictLocked() {
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		e := el.Value.(cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.stats.Evictions++
+		os.Remove(filepath.Join(c.dir, e.key))
+	}
+}
+
+// drop forgets an index entry whose file disappeared.
+func (c *Cache) drop(key string, el *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[key]; ok && cur == el {
+		e := cur.Value.(cacheEntry)
+		c.lru.Remove(cur)
+		delete(c.entries, key)
+		c.bytes -= e.size
+	}
+}
+
+// quarantine moves a corrupt entry aside — preserved for post-mortem, never
+// served again — and forgets it.
+func (c *Cache) quarantine(key string, el *list.Element) {
+	qdir := filepath.Join(c.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		os.Rename(filepath.Join(c.dir, key), filepath.Join(qdir, key))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[key]; ok && cur == el {
+		e := cur.Value.(cacheEntry)
+		c.lru.Remove(cur)
+		delete(c.entries, key)
+		c.bytes -= e.size
+	}
+	c.stats.Corrupt++
+}
+
+// miss counts one Get miss.
+func (c *Cache) miss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Bytes = c.bytes
+	return s
+}

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// key derives a valid hex cache key from a label.
+func key(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestCachePutGetRoundTrip: payloads survive a put/get cycle and a reopen.
+func TestCachePutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"summary":"bytes"}`)
+	if err := c.Put(key("a"), payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key("a"))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the payload back", got, ok)
+	}
+
+	// A fresh cache over the same directory — the restart path — serves the
+	// same bytes.
+	c2, err := OpenCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = c2.Get(key("a"))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after reopen = %q, %v; want the payload back", got, ok)
+	}
+	st := c2.Stats()
+	if st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats after reopen = %+v, want 1 hit, 1 entry", st)
+	}
+}
+
+// TestCacheTruncatedEntryQuarantined: a truncated entry is detected on
+// read, quarantined, and treated as a miss — never served.
+func TestCacheTruncatedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("trunc")
+	if err := c.Put(k, bytes.Repeat([]byte("v"), 200)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := c.Get(k); ok {
+		t.Fatalf("Get served a truncated entry: %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, k)); err != nil {
+		t.Errorf("truncated entry was not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("truncated entry still present in the cache dir")
+	}
+	st := c.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 corrupt, 1 miss", st)
+	}
+
+	// The key is recomputable: a fresh put serves again.
+	if err := c.Put(k, bytes.Repeat([]byte("v"), 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Error("re-put after quarantine did not serve")
+	}
+}
+
+// TestCacheBitFlippedEntryQuarantined: a single flipped payload bit fails
+// the checksum; the entry is quarantined and reported as a miss, across a
+// reopen too (the scan indexes lazily, the read verifies).
+func TestCacheBitFlippedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("flip")
+	if err := c.Put(k, bytes.Repeat([]byte("w"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[cacheHeaderLen+250] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the damaged entry is indexed (verification is lazy)...
+	c2, err := OpenCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but the read detects the flip and quarantines.
+	if got, ok := c2.Get(k); ok {
+		t.Fatalf("Get served a bit-flipped entry: %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, k)); err != nil {
+		t.Errorf("bit-flipped entry was not quarantined: %v", err)
+	}
+	if st := c2.Stats(); st.Corrupt != 1 {
+		t.Errorf("corrupt count = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestCacheLRUEviction: exceeding the byte budget evicts the least
+// recently used entries, and a Get refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("e"), 1000)
+	entrySize := int64(cacheHeaderLen + len(payload))
+	c, err := OpenCache(dir, 3*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(key(fmt.Sprintf("e%d", i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch e0 so e1 becomes the LRU victim.
+	if _, ok := c.Get(key("e0")); !ok {
+		t.Fatal("warm entry missing")
+	}
+	if err := c.Put(key("e3"), payload); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(key("e1")); ok {
+		t.Error("LRU victim e1 still resident")
+	}
+	for _, label := range []string{"e0", "e2", "e3"} {
+		if _, ok := c.Get(key(label)); !ok {
+			t.Errorf("entry %s was evicted, want resident", label)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 3*entrySize {
+		t.Errorf("stats = %+v, want 1 eviction, 3 entries, %d bytes", st, 3*entrySize)
+	}
+}
+
+// TestCacheScanOrdersByMtime: reopening seeds the LRU oldest-first, so the
+// stalest on-disk entries are evicted first.
+func TestCacheScanOrdersByMtime(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("m"), 100)
+	entrySize := int64(cacheHeaderLen + len(payload))
+	c, err := OpenCache(dir, 10*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Put(key(fmt.Sprintf("m%d", i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Age the first entry far into the past.
+	old := filepath.Join(dir, key("m0"))
+	past := time.Now().Add(-24 * time.Hour)
+	if err := os.Chtimes(old, past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with room for only 3 entries: m0 must be the victim.
+	c2, err := OpenCache(dir, 3*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key("m0")); ok {
+		t.Error("oldest entry m0 survived a budget-shrinking reopen")
+	}
+	if st := c2.Stats(); st.Entries != 3 {
+		t.Errorf("entries after shrink = %d, want 3", st.Entries)
+	}
+	_ = c
+}
+
+// TestCacheCrashedTempSwept: leftover temp files from a crashed put are
+// removed on open and never indexed.
+func TestCacheCrashedTempSwept(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, ".tmp-deadbeef-123")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("crashed temp file survived the open sweep")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("entries = %d, want 0", st.Entries)
+	}
+}

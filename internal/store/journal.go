@@ -1,0 +1,238 @@
+// Package store is the durability layer under rumord: an append-only,
+// fsync'd, checksummed journal (the write-ahead log behind coordinator crash
+// recovery and the service's run ledger) and a content-addressed disk cache
+// with atomic writes, corruption quarantine and size-bounded LRU eviction.
+// Both are deliberately free of any knowledge of what they persist — the
+// service and cluster layers define record and entry semantics.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal frame layout (little-endian):
+//
+//	uint32 payload length | uint8 record type | payload | uint32 CRC-32C
+//
+// The CRC covers the type byte and the payload. A frame that fails its CRC,
+// runs past the file, or declares an absurd length marks the torn tail of a
+// crashed append: replay stops there and the next append truncates it away.
+// Everything before the tear is intact — appends are fsync'd before the
+// caller proceeds, so an acknowledged record is never lost to a crash.
+
+// maxFrameBytes bounds a single record (64 MiB), so a corrupt length field
+// cannot make replay allocate unboundedly.
+const maxFrameBytes = 64 << 20
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journal entry: an application-defined type tag and payload.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// Journal is an append-only record log. Every Append is fsync'd before it
+// returns, so acknowledged records survive SIGKILL; Rewrite atomically
+// replaces the whole log (snapshot compaction). A Journal is safe for
+// concurrent use.
+type Journal struct {
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	closed bool
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays every
+// intact record into fn in append order, and truncates a torn tail left by
+// a crash mid-append. The returned journal is positioned to append.
+func OpenJournal(path string, fn func(Record) error) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: journal dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	intact, err := replay(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate the torn tail so the next append starts on a frame boundary;
+	// a clean file is a no-op.
+	if err := f.Truncate(intact); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncate torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(intact, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek journal: %w", err)
+	}
+	return &Journal{path: path, f: f, size: intact}, nil
+}
+
+// replay streams every intact frame of f into fn and returns the offset of
+// the first torn or missing frame. Only a callback error is surfaced —
+// framing damage is the expected signature of a crash, not a failure.
+func replay(f *os.File, fn func(Record) error) (int64, error) {
+	var offset int64
+	r := &countingReader{r: f}
+	var header [5]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return offset, nil // clean EOF or torn header: replay ends here
+		}
+		length := binary.LittleEndian.Uint32(header[:4])
+		if length > maxFrameBytes {
+			return offset, nil // corrupt length: treat as torn
+		}
+		body := make([]byte, int(length)+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return offset, nil // torn payload
+		}
+		payload, crcBytes := body[:length], body[length:]
+		crc := crc32.Update(crc32.Update(0, castagnoli, header[4:5]), castagnoli, payload)
+		if crc != binary.LittleEndian.Uint32(crcBytes) {
+			return offset, nil // bit rot or torn write: stop at the tear
+		}
+		if fn != nil {
+			if err := fn(Record{Type: header[4], Payload: payload}); err != nil {
+				return offset, fmt.Errorf("store: journal replay: %w", err)
+			}
+		}
+		offset = r.n
+	}
+}
+
+// countingReader tracks how many bytes have been consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// frame renders one record's wire bytes.
+func frame(rec Record) []byte {
+	buf := make([]byte, 0, 5+len(rec.Payload)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Payload)))
+	buf = append(buf, rec.Type)
+	buf = append(buf, rec.Payload...)
+	crc := crc32.Update(crc32.Update(0, castagnoli, []byte{rec.Type}), castagnoli, rec.Payload)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// Append durably adds one record: the frame is written and fsync'd before
+// Append returns, so a crash after Append cannot lose the record.
+func (j *Journal) Append(rec Record) error {
+	if len(rec.Payload) > maxFrameBytes {
+		return fmt.Errorf("store: journal record of %d bytes exceeds the %d-byte frame bound", len(rec.Payload), maxFrameBytes)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("store: journal is closed")
+	}
+	buf := frame(rec)
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal fsync: %w", err)
+	}
+	j.size += int64(len(buf))
+	return nil
+}
+
+// Size returns the journal's current byte length — the compaction trigger.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Rewrite atomically replaces the journal's contents with records — snapshot
+// compaction. The snapshot is written to a sibling temp file, fsync'd, and
+// renamed over the journal, so a crash at any point leaves either the old
+// complete log or the new one, never a mixture.
+func (j *Journal) Rewrite(records []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("store: journal is closed")
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-rewrite-*")
+	if err != nil {
+		return fmt.Errorf("store: journal rewrite: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var size int64
+	for _, rec := range records {
+		buf := frame(rec)
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: journal rewrite: %w", err)
+		}
+		size += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: journal rewrite fsync: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: journal rewrite rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		tmp.Close()
+		return err
+	}
+	old := j.f
+	j.f = tmp
+	j.size = size
+	old.Close()
+	if _, err := j.f.Seek(size, io.SeekStart); err != nil {
+		return fmt.Errorf("store: journal rewrite seek: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: dir fsync: %w", err)
+	}
+	return nil
+}

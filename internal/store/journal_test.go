@@ -1,0 +1,163 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collect replays a journal into a slice.
+func collect(t *testing.T, path string) []Record {
+	t.Helper()
+	var recs []Record
+	j, err := OpenJournal(path, func(r Record) error {
+		recs = append(recs, Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	return recs
+}
+
+// TestJournalAppendReplay: appended records replay in order with their
+// payloads intact.
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append(Record{Type: byte(i % 3), Payload: []byte(fmt.Sprintf("rec-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	recs := collect(t, path)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("rec-%d", i); string(r.Payload) != want || r.Type != byte(i%3) {
+			t.Errorf("record %d = type %d payload %q, want type %d payload %q", i, r.Type, r.Payload, i%3, want)
+		}
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a torn final frame; replay
+// keeps every complete record, drops the tear, and appending afterwards
+// resumes on a clean boundary.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Type: 1, Payload: []byte("alpha")})
+	j.Append(Record{Type: 2, Payload: []byte("beta")})
+	j.Close()
+
+	// Tear the tail: chop the last 3 bytes of the final frame.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []Record
+	j2, err := OpenJournal(path, func(r Record) error {
+		recs = append(recs, Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "alpha" {
+		t.Fatalf("replay after tear = %+v, want just alpha", recs)
+	}
+	if err := j2.Append(Record{Type: 3, Payload: []byte("gamma")}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	recs = collect(t, path)
+	if len(recs) != 2 || string(recs[0].Payload) != "alpha" || string(recs[1].Payload) != "gamma" {
+		t.Fatalf("replay after repair+append = %+v, want alpha, gamma", recs)
+	}
+}
+
+// TestJournalBitFlip: a bit flipped inside an earlier record fails its CRC;
+// replay stops at the damage instead of delivering corrupt payloads.
+func TestJournalBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Type: 1, Payload: bytes.Repeat([]byte("x"), 100)})
+	j.Append(Record{Type: 1, Payload: []byte("after")})
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0x40 // inside the first record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if recs := collect(t, path); len(recs) != 0 {
+		t.Fatalf("replayed %d records across a bit flip, want 0", len(recs))
+	}
+}
+
+// TestJournalRewrite: Rewrite atomically replaces the log with the snapshot
+// records, and subsequent appends extend the snapshot.
+func TestJournalRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		j.Append(Record{Type: 1, Payload: bytes.Repeat([]byte("p"), 64)})
+	}
+	before := j.Size()
+	if err := j.Rewrite([]Record{{Type: 9, Payload: []byte("snapshot")}}); err != nil {
+		t.Fatal(err)
+	}
+	if after := j.Size(); after >= before {
+		t.Errorf("size after compaction %d, want < %d", after, before)
+	}
+	if err := j.Append(Record{Type: 1, Payload: []byte("post")}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	recs := collect(t, path)
+	if len(recs) != 2 || recs[0].Type != 9 || string(recs[1].Payload) != "post" {
+		t.Fatalf("replay after rewrite = %+v, want snapshot then post", recs)
+	}
+}
+
+// TestJournalReplayCallbackError: a callback error surfaces from Open.
+func TestJournalReplayCallbackError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Type: 1, Payload: []byte("x")})
+	j.Close()
+	if _, err := OpenJournal(path, func(Record) error { return fmt.Errorf("boom") }); err == nil {
+		t.Fatal("replay callback error was swallowed")
+	}
+}
