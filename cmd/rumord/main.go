@@ -11,6 +11,11 @@
 //	GET    /v1/runs                list jobs
 //	GET    /v1/runs/{id}           job status + summary when done
 //	DELETE /v1/runs/{id}           cancel a queued or running job
+//	POST   /v1/sweeps              submit one parameter grid as a native sweep
+//	GET    /v1/sweeps              list sweeps
+//	GET    /v1/sweeps/{id}         sweep status + per-cell aggregate table
+//	GET    /v1/sweeps/{id}/events  SSE stream of per-cell summaries
+//	DELETE /v1/sweeps/{id}         cancel a sweep's unfinished cells
 //	GET    /v1/scenarios/families  the network family registry
 //	GET    /healthz                liveness + build version
 //	GET    /metrics                counters (JSON, or Prometheus text via Accept)
@@ -73,6 +78,10 @@ func run(args []string) error {
 	historyLimit := fs.Int("history", 4096, "finished job records retained (oldest forgotten first)")
 	streamDefault := fs.Int("stream-default", 0,
 		"async stream discipline for scenarios that don't pin one: 0 leaves scenarios untouched, 1 pins the frozen v1, 2 the faster statistically-equivalent v2")
+	rate := fs.Float64("rate", 0,
+		"per-client work-creating submissions per second before 429 + Retry-After; cache hits and read endpoints are exempt (0 disables rate limiting)")
+	burst := fs.Int("burst", 0,
+		"per-client token-bucket burst capacity for -rate (0 means twice the rate, at least 1)")
 	clusterMode := fs.Bool("cluster", false,
 		"coordinate a worker cluster: serve the same API but shard runs across joined -worker processes instead of executing locally")
 	workerMode := fs.Bool("worker", false, "run as a cluster worker executing leased repetition ranges (requires -join)")
@@ -104,6 +113,12 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("-stream-default must be 0, 1 or 2, got %d", *streamDefault)
 	}
+	if *rate < 0 {
+		return fmt.Errorf("-rate must be >= 0, got %v", *rate)
+	}
+	if *burst > 0 && *rate <= 0 {
+		return errors.New("-burst requires -rate")
+	}
 	if *join != "" {
 		*workerMode = true
 	}
@@ -124,6 +139,8 @@ func run(args []string) error {
 		MaxReps:       *maxReps,
 		HistoryLimit:  *historyLimit,
 		DefaultStream: *streamDefault,
+		RatePerSec:    *rate,
+		RateBurst:     *burst,
 		CacheDir:      *cacheDir,
 		CacheMaxBytes: *cacheBytes,
 		StateDir:      *stateDir,

@@ -1,13 +1,16 @@
 // Command client is a minimal Go client for the rumord service: it submits
-// a sweep of scenarios (one per network size), polls each job to completion,
-// and prints the ensemble table — exercising the public HTTP API end to end.
+// the size grid as one native sweep (POST /v1/sweeps), polls the sweep to
+// completion, and prints the ensemble table — exercising the public HTTP
+// API end to end. With -separate it falls back to the pre-sweep behaviour,
+// one POST /v1/runs per size; per-cell summaries are byte-identical either
+// way, which the CI smoke tests pin.
 //
 // Start the daemon, then run the sweep:
 //
 //	go run ./cmd/rumord -addr :8080 &
 //	go run ./examples/client -addr http://localhost:8080 -family clique -sizes 256,512,1024 -reps 32
 //
-// With -raw it prints each run's summary document verbatim (one JSON line
+// With -raw it prints each cell's summary document verbatim (one JSON line
 // per scenario) instead of the table; the CI smoke test diffs that output
 // against a committed golden file, and a rerun must be served from the
 // result cache byte-identically.
@@ -42,7 +45,8 @@ func run(args []string) error {
 	reps := fs.Int("reps", 32, "repetitions per scenario")
 	seed := fs.Uint64("seed", 1, "ensemble seed")
 	raw := fs.Bool("raw", false, "print each run's summary JSON instead of the table")
-	timeout := fs.Duration("timeout", 5*time.Minute, "per-job completion deadline")
+	separate := fs.Bool("separate", false, "submit one POST /v1/runs per size instead of a native sweep")
+	timeout := fs.Duration("timeout", 5*time.Minute, "completion deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,51 +63,123 @@ func run(args []string) error {
 	}
 
 	if !*raw {
-		fmt.Printf("%-8s %-10s %-6s %10s %10s %10s %10s %6s\n",
+		fmt.Printf("%-8s %-14s %-6s %10s %10s %10s %10s %6s\n",
 			"n", "job", "cache", "mean", "median", "q90", "max", "done%")
 	}
+	if *separate {
+		return runSeparate(&c, ns, *family, *rho, *reps, *seed, *raw, *timeout)
+	}
+	return runSweep(&c, ns, *family, *rho, *reps, *seed, *raw, *timeout)
+}
+
+// runSweep submits the whole size grid as one native sweep and prints the
+// per-cell results in planning order — n outermost, so row i is ns[i].
+func runSweep(c *client, ns []int, family string, rho float64, reps int, seed uint64, raw bool, timeout time.Duration) error {
+	spec := map[string]any{"family": family, "n": ns}
+	if family == "gnrho" || family == "absgnrho" {
+		spec["params"] = map[string][]float64{"rho": {rho}}
+	}
+	sw, err := c.submitSweep(map[string]any{"sweep": spec, "reps": reps, "seed": seed})
+	if err != nil {
+		return fmt.Errorf("submit sweep: %w", err)
+	}
+	sw, err = c.waitSweep(sw, timeout)
+	if err != nil {
+		return err
+	}
+	// The submit response carries no cell table (a sweep served entirely
+	// from cache settles in the POST itself); fetch the detail view.
+	if len(sw.Cells) == 0 && len(ns) > 0 {
+		if sw, err = c.getSweep(sw.ID); err != nil {
+			return fmt.Errorf("fetch sweep %s: %w", sw.ID, err)
+		}
+	}
+	if len(sw.Cells) != len(ns) {
+		return fmt.Errorf("sweep %s has %d cells, want %d", sw.ID, len(sw.Cells), len(ns))
+	}
+	for i, cell := range sw.Cells {
+		if raw {
+			fmt.Println(string(cell.Summary))
+			continue
+		}
+		if err := printRow(ns[i], cell.Run, cell.CacheHit, cell.Summary); err != nil {
+			return fmt.Errorf("cell %s: %w", cell.Cell, err)
+		}
+	}
+	return nil
+}
+
+// runSeparate is the pre-sweep path: one submission per size.
+func runSeparate(c *client, ns []int, family string, rho float64, reps int, seed uint64, raw bool, timeout time.Duration) error {
 	for _, n := range ns {
 		params := map[string]float64{"n": float64(n)}
-		if *family == "gnrho" || *family == "absgnrho" {
-			params["rho"] = *rho
+		if family == "gnrho" || family == "absgnrho" {
+			params["rho"] = rho
 		}
 		sub := map[string]any{
 			"scenario": map[string]any{
-				"network": map[string]any{"family": *family, "params": params},
+				"network": map[string]any{"family": family, "params": params},
 			},
-			"reps": *reps,
-			"seed": *seed,
+			"reps": reps,
+			"seed": seed,
 		}
 		job, err := c.submit(sub)
 		if err != nil {
 			return fmt.Errorf("submit n=%d: %w", n, err)
 		}
-		job, err = c.wait(job, *timeout)
+		job, err = c.wait(job, timeout)
 		if err != nil {
 			return fmt.Errorf("wait n=%d: %w", n, err)
 		}
-		if *raw {
+		if raw {
 			fmt.Println(string(job.Summary))
 			continue
 		}
-		var sum summary
-		if err := json.Unmarshal(job.Summary, &sum); err != nil {
+		if err := printRow(n, job.ID, job.CacheHit, job.Summary); err != nil {
 			return fmt.Errorf("decode summary n=%d: %w", n, err)
 		}
-		cache := "miss"
-		if job.CacheHit {
-			cache = "hit"
-		}
-		fmt.Printf("%-8d %-10s %-6s %10.3f %10.3f %10.3f %10.3f %5.1f%%\n",
-			n, job.ID, cache, sum.SpreadTime.Mean, sum.quantile(0.5), sum.quantile(0.9),
-			sum.SpreadTime.Max, 100*sum.CompletionRate)
 	}
+	return nil
+}
+
+// printRow renders one table line from a summary document.
+func printRow(n int, id string, cacheHit bool, doc json.RawMessage) error {
+	var sum summary
+	if err := json.Unmarshal(doc, &sum); err != nil {
+		return err
+	}
+	cache := "miss"
+	if cacheHit {
+		cache = "hit"
+	}
+	fmt.Printf("%-8d %-14s %-6s %10.3f %10.3f %10.3f %10.3f %5.1f%%\n",
+		n, id, cache, sum.SpreadTime.Mean, sum.quantile(0.5), sum.quantile(0.9),
+		sum.SpreadTime.Max, 100*sum.CompletionRate)
 	return nil
 }
 
 // jobView mirrors the service's job document (the fields the client reads).
 type jobView struct {
 	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	CacheHit bool            `json:"cache_hit"`
+	Error    string          `json:"error"`
+	Summary  json.RawMessage `json:"summary"`
+}
+
+// sweepView mirrors the service's sweep document.
+type sweepView struct {
+	ID      string      `json:"id"`
+	State   string      `json:"state"`
+	Total   int         `json:"total"`
+	Settled int         `json:"settled"`
+	Cells   []sweepCell `json:"cells"`
+}
+
+// sweepCell is one cell of the sweep's aggregate table.
+type sweepCell struct {
+	Cell     string          `json:"cell"`
+	Run      string          `json:"run"`
 	State    string          `json:"state"`
 	CacheHit bool            `json:"cache_hit"`
 	Error    string          `json:"error"`
@@ -150,6 +226,36 @@ func (c *client) submit(body map[string]any) (jobView, error) {
 	return decodeJob(resp)
 }
 
+// submitSweep posts one sweep request and decodes the sweep document.
+func (c *client) submitSweep(body map[string]any) (sweepView, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return sweepView{}, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/sweeps", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return sweepView{}, err
+	}
+	var v sweepView
+	if err := decodeInto(resp, &v); err != nil {
+		return sweepView{}, err
+	}
+	return v, nil
+}
+
+// getSweep fetches a sweep's detail view (with the cell table).
+func (c *client) getSweep(id string) (sweepView, error) {
+	resp, err := c.http.Get(c.base + "/v1/sweeps/" + id)
+	if err != nil {
+		return sweepView{}, err
+	}
+	var v sweepView
+	if err := decodeInto(resp, &v); err != nil {
+		return sweepView{}, err
+	}
+	return v, nil
+}
+
 // wait polls the job until it settles, failing on non-done terminal states.
 // Transient poll failures — a connection refused while the daemon restarts,
 // a 5xx served mid-recovery — are retried until the deadline: with -state-dir
@@ -183,25 +289,67 @@ func (c *client) wait(job jobView, timeout time.Duration) (jobView, error) {
 	}
 }
 
+// waitSweep polls the sweep until it settles, riding daemon restarts the
+// same way wait does: a journalled sweep is re-planned and re-adopted under
+// its original ID, so polling by ID survives a crash.
+func (c *client) waitSweep(sw sweepView, timeout time.Duration) (sweepView, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		switch sw.State {
+		case "done":
+			return sw, nil
+		case "failed", "cancelled":
+			return sw, fmt.Errorf("sweep %s %s", sw.ID, sw.State)
+		}
+		if time.Now().After(deadline) {
+			return sw, fmt.Errorf("sweep %s still %s after %v (%d/%d cells)",
+				sw.ID, sw.State, timeout, sw.Settled, sw.Total)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := c.http.Get(c.base + "/v1/sweeps/" + sw.ID)
+		if err != nil {
+			continue // daemon down or restarting: keep polling
+		}
+		if resp.StatusCode >= 500 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var next sweepView
+		if err := decodeInto(resp, &next); err != nil {
+			return sw, err
+		}
+		sw = next
+	}
+}
+
 // decodeJob reads a job document, surfacing {"error": ...} bodies as errors.
 func decodeJob(resp *http.Response) (jobView, error) {
+	var v jobView
+	if err := decodeInto(resp, &v); err != nil {
+		return jobView{}, err
+	}
+	return v, nil
+}
+
+// decodeInto reads an API document, surfacing {"error": ...} bodies as errors.
+func decodeInto(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return jobView{}, err
+		return err
 	}
 	if resp.StatusCode >= 400 {
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return jobView{}, fmt.Errorf("%s: %s", resp.Status, e.Error)
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
 		}
-		return jobView{}, fmt.Errorf("%s: %s", resp.Status, data)
+		return fmt.Errorf("%s: %s", resp.Status, data)
 	}
-	var v jobView
-	if err := json.Unmarshal(data, &v); err != nil {
-		return jobView{}, fmt.Errorf("decode job: %w", err)
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("decode response: %w", err)
 	}
-	return v, nil
+	return nil
 }

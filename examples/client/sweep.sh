@@ -1,6 +1,9 @@
 #!/bin/sh
-# sweep.sh — the curl spelling of examples/client: submit a scenario sweep to
-# a running rumord, poll each job to completion, and print the summaries.
+# sweep.sh — the curl spelling of examples/client: submit the size grid as
+# one native sweep to a running rumord, poll the sweep to completion, and
+# print each cell's summary. Every cell is an ordinary job, so the per-cell
+# documents are fetched from GET /v1/runs/{id} exactly as standalone runs
+# would be — and their summaries are byte-identical to standalone runs.
 #
 # Usage: ADDR=http://localhost:8080 sh examples/client/sweep.sh
 # Needs only curl and a POSIX shell (grep/sed for the JSON fields it reads).
@@ -17,24 +20,35 @@ field() {
     printf '%s' "$1" | sed -n "s/.*\"$2\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p" | head -n 1
 }
 
-for n in $SIZES; do
-    body="{\"scenario\":{\"network\":{\"family\":\"$FAMILY\",\"params\":{\"n\":$n}}},\"reps\":$REPS,\"seed\":$SEED}"
-    job=$(curl -fsS -X POST -d "$body" "$ADDR/v1/runs")
-    id=$(field "$job" id)
-    state=$(field "$job" state)
-    while [ "$state" != "done" ]; do
-        case "$state" in
-            failed|cancelled)
-                echo "job $id $state" >&2
-                exit 1
-                ;;
-        esac
-        sleep 0.1
-        job=$(curl -fsS "$ADDR/v1/runs/$id")
-        state=$(field "$job" state)
-    done
+# The whole grid is one request: the sizes become the sweep's "n" axis.
+n_axis=$(printf '%s' "$SIZES" | tr -s ' ' ',')
+body="{\"sweep\":{\"family\":\"$FAMILY\",\"n\":[$n_axis]},\"reps\":$REPS,\"seed\":$SEED}"
+
+sweep=$(curl -fsS -X POST -d "$body" "$ADDR/v1/sweeps")
+id=$(field "$sweep" id)
+state=$(field "$sweep" state)
+while [ "$state" != "done" ]; do
+    case "$state" in
+        failed|cancelled)
+            echo "sweep $id $state" >&2
+            exit 1
+            ;;
+    esac
+    sleep 0.1
+    sweep=$(curl -fsS "$ADDR/v1/sweeps/$id")
+    state=$(field "$sweep" state)
+done
+
+# The detail view lists the cells in planning order; each cell's job
+# document is served by the ordinary run endpoint.
+runs=$(curl -fsS "$ADDR/v1/sweeps/$id" | grep -o '"run":"[^"]*"' | sed 's/"run":"//; s/"$//')
+for run in $runs; do
+    job=$(curl -fsS "$ADDR/v1/runs/$run")
+    # Cell labels contain commas ("n=64,protocol=async,seed=1"), so the
+    # generic scalar extractor cannot be used here.
+    cell=$(printf '%s' "$job" | sed -n 's/.*"cell":"\([^"]*\)".*/\1/p')
     cache=miss
     case "$job" in *'"cache_hit":true'*) cache=hit ;; esac
-    echo "n=$n job=$id cache=$cache"
+    echo "cell=$cell job=$run cache=$cache"
     printf '%s\n' "$job" | sed -n 's/.*"summary":{\(.*\)}$/  {\1/p'
 done

@@ -3,9 +3,11 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -326,5 +328,98 @@ func TestClusterUnknownWorker(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("lease for unknown worker: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWorkerPipelinesLeaseClaims pins the double-buffered claim loop: while
+// one shard executes, the claim for the next lease is already in flight, so
+// the coordinator sees the claim for lease k+1 before lease k's result
+// upload — and the worker never holds more than two leases at once. The fake
+// coordinator enforces the ordering by refusing to acknowledge any upload
+// until the second claim has arrived; a strictly serial worker would
+// deadlock here and trip the watchdog timeouts.
+func TestWorkerPipelinesLeaseClaims(t *testing.T) {
+	doc := []byte(`{"network":{"family":"clique","params":{"n":32}}}`)
+	sc, err := engine.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := engine.Canonical(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	granted, resolved, maxHeld := 0, 0, 0
+	secondClaim := make(chan struct{})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/register", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(RegisterResponse{WorkerID: "w1", LeaseTTLMillis: 60_000, PollMillis: 5})
+	})
+	mux.HandleFunc("/v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(HeartbeatResponse{})
+	})
+	mux.HandleFunc("/v1/cluster/lease", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		granted++
+		id := granted
+		if held := granted - resolved; held > maxHeld {
+			maxHeld = held
+		}
+		if id == 2 {
+			close(secondClaim)
+		}
+		mu.Unlock()
+		json.NewEncoder(w).Encode(LeaseResponse{Lease: &Lease{
+			ID: "L" + itoa(id), Run: "r1", Scenario: canonical, Seed: 1,
+			Start: (id - 1) * 4, Count: 4,
+		}})
+	})
+	mux.HandleFunc("/v1/cluster/result", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-secondClaim:
+		case <-time.After(10 * time.Second):
+		}
+		mu.Lock()
+		resolved++
+		mu.Unlock()
+		json.NewEncoder(w).Encode(ResultResponse{})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wk := NewWorker(WorkerConfig{Coordinator: ts.URL, Name: "pipeline-test", CPUs: 2})
+	done := make(chan struct{})
+	go func() { defer close(done); wk.Run(ctx) }()
+
+	select {
+	case <-secondClaim:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no prefetch claim arrived while the first shard was outstanding")
+	}
+	// Let the loop run a few steady-state rounds before stopping.
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		r := resolved
+		mu.Unlock()
+		if r >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("worker did not complete 3 leases in time")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if maxHeld > 2 {
+		t.Errorf("worker held %d leases at once, want at most 2", maxHeld)
 	}
 }

@@ -102,38 +102,99 @@ func (w *Worker) Run(ctx context.Context) error {
 	// quiet "no work" answer) resets the sequence.
 	leaseRetry := retry.Policy{Base: 100 * time.Millisecond, Cap: 5 * time.Second}
 	failures := 0
+	// next is the double-buffered lease: while a shard executes, one request
+	// for the following lease is in flight, so the worker moves from upload
+	// straight into the next range instead of idling a round trip. At most
+	// two leases are ever outstanding — the executing one and the prefetched
+	// one — and the prefetched lease is registered in held immediately, so
+	// heartbeats renew it and coordinator-reported expiry abandons it before
+	// it starts, exactly as for an executing lease.
+	var next *heldLease
+	defer func() {
+		if next != nil {
+			w.release(next)
+		}
+	}()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		lease, err := w.requestLease(ctx)
-		switch {
-		case errors.Is(err, errStaleWorker):
-			failures = 0
-			if err := w.register(ctx); err != nil {
-				return err
+		hl := next
+		next = nil
+		if hl == nil {
+			lease, err := w.requestLease(ctx)
+			switch {
+			case errors.Is(err, errStaleWorker):
+				failures = 0
+				if err := w.register(ctx); err != nil {
+					return err
+				}
+				continue
+			case err != nil:
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				failures++
+				w.logf("worker: lease request failed: %v", err)
+				if !retry.Sleep(ctx, leaseRetry.Delay(failures-1)) {
+					return ctx.Err()
+				}
+				continue
+			case lease == nil:
+				failures = 0
+				if !retry.Sleep(ctx, w.pollInterval()) {
+					return ctx.Err()
+				}
+				continue
 			}
-			continue
-		case err != nil:
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			failures++
-			w.logf("worker: lease request failed: %v", err)
-			if !retry.Sleep(ctx, leaseRetry.Delay(failures-1)) {
-				return ctx.Err()
-			}
-			continue
-		case lease == nil:
-			failures = 0
-			if !retry.Sleep(ctx, w.pollInterval()) {
-				return ctx.Err()
-			}
-			continue
+			hl = w.acquire(ctx, lease)
 		}
 		failures = 0
-		w.execute(ctx, lease)
+		prefetched := make(chan *heldLease, 1)
+		go w.prefetchLease(ctx, prefetched)
+		w.execute(ctx, hl)
+		next = <-prefetched
 	}
+}
+
+// heldLease is a lease the worker owns, with the context its execution (and
+// abandonment) runs under. Acquired at claim time — before execution starts
+// for prefetched leases — so the heartbeat loop renews it from the moment
+// the coordinator granted it.
+type heldLease struct {
+	lease  *Lease
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// acquire registers a granted lease in the held set.
+func (w *Worker) acquire(ctx context.Context, lease *Lease) *heldLease {
+	leaseCtx, cancel := context.WithCancel(ctx)
+	w.mu.Lock()
+	w.held[lease.ID] = cancel
+	w.mu.Unlock()
+	return &heldLease{lease: lease, ctx: leaseCtx, cancel: cancel}
+}
+
+// release removes a lease from the held set and cancels its context.
+func (w *Worker) release(hl *heldLease) {
+	w.mu.Lock()
+	delete(w.held, hl.lease.ID)
+	w.mu.Unlock()
+	hl.cancel()
+}
+
+// prefetchLease makes one (non-retried) claim attempt for the next lease
+// while the current shard executes. Failures and empty answers deliver nil
+// and the main loop falls back to its ordinary polling path, with its usual
+// backoff and re-registration handling.
+func (w *Worker) prefetchLease(ctx context.Context, out chan<- *heldLease) {
+	lease, err := w.requestLease(ctx)
+	if err != nil || lease == nil {
+		out <- nil
+		return
+	}
+	out <- w.acquire(ctx, lease)
 }
 
 // register announces the worker, retrying with jittered backoff until it
@@ -203,17 +264,9 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 // repetition range reproduces exactly the streams a single-node run would
 // have drawn for those indices, so the uploaded observations are
 // bit-identical to that run's slice.
-func (w *Worker) execute(ctx context.Context, lease *Lease) {
-	leaseCtx, cancel := context.WithCancel(ctx)
-	w.mu.Lock()
-	w.held[lease.ID] = cancel
-	w.mu.Unlock()
-	defer func() {
-		w.mu.Lock()
-		delete(w.held, lease.ID)
-		w.mu.Unlock()
-		cancel()
-	}()
+func (w *Worker) execute(ctx context.Context, hl *heldLease) {
+	lease, leaseCtx := hl.lease, hl.ctx
+	defer w.release(hl)
 
 	result := ResultRequest{LeaseID: lease.ID}
 	values, completed, err := w.executeRange(leaseCtx, lease)

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"dynamicrumor/internal/sim"
+)
+
+// TestCompileSetSharesDeterministicNetworks pins the sweep amortization
+// contract: scenarios differing only in execution options (protocol, seed is
+// external) compiled through one set share one built network instance, and
+// distinct network specs do not.
+func TestCompileSetSharesDeterministicNetworks(t *testing.T) {
+	set := NewCompileSet()
+	async := Scenario{Network: NetworkSpec{Family: "clique", Params: Params{"n": 64}}}
+	sync := Scenario{Network: NetworkSpec{Family: "clique", Params: Params{"n": 64}}, Protocol: ProtocolSync}
+	other := Scenario{Network: NetworkSpec{Family: "clique", Params: Params{"n": 128}}}
+
+	ca, err := set.Compile(async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := set.Compile(sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := set.Compile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.cs.shared == nil || cb.cs.shared == nil {
+		t.Fatal("deterministic family did not compile to a shared network")
+	}
+	if ca.cs.shared != cb.cs.shared {
+		t.Fatal("equal network specs did not share one built network")
+	}
+	if ca.cs.shared == cc.cs.shared {
+		t.Fatal("distinct network specs must not share a network")
+	}
+	if got := set.Networks(); got != 2 {
+		t.Fatalf("set holds %d networks, want 2", got)
+	}
+
+	// The shareable dynamic family participates too.
+	d1, err := set.Compile(Scenario{Network: NetworkSpec{Family: "dichotomy-g1", Params: Params{"n": 32}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := set.Compile(Scenario{Network: NetworkSpec{Family: "dichotomy-g1", Params: Params{"n": 32}}, Protocol: ProtocolSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.cs.shared == nil || d1.cs.shared != d2.cs.shared {
+		t.Fatal("shareable dynamic family did not share its network across the set")
+	}
+}
+
+// TestCompileSetKeysDistinguishParams guards the network key: parameter
+// values that differ must never collide onto one shared network.
+func TestCompileSetKeysDistinguishParams(t *testing.T) {
+	a := networkKey(NetworkSpec{Family: "torus", Params: Params{"rows": 8, "cols": 16}})
+	b := networkKey(NetworkSpec{Family: "torus", Params: Params{"rows": 16, "cols": 8}})
+	if a == b {
+		t.Fatalf("key %q does not distinguish swapped params", a)
+	}
+	c := networkKey(NetworkSpec{Family: "torus", Params: Params{"cols": 16, "rows": 8}})
+	if a != c {
+		t.Fatal("key must not depend on map iteration order")
+	}
+}
+
+// TestRunReduceCompiledByteIdentity pins the compiled entry point to the
+// plain one: same scenario, same seed, bit-identical reductions — including
+// when the compiled value came from a set that shared its network with other
+// scenarios, and at several parallelism levels.
+func TestRunReduceCompiledByteIdentity(t *testing.T) {
+	scenarios := []Scenario{
+		{Network: NetworkSpec{Family: "clique", Params: Params{"n": 48}}},
+		{Network: NetworkSpec{Family: "clique", Params: Params{"n": 48}}, Protocol: ProtocolSync},
+		{Network: NetworkSpec{Family: "gnrho", Params: Params{"n": 64, "rho": 0.5}}},
+		{Network: NetworkSpec{Family: "expander", Params: Params{"n": 48, "degree": 4}}},
+	}
+	set := NewCompileSet()
+	const reps = 12
+	for si, sc := range scenarios {
+		var want []float64
+		eng := Engine{Parallelism: 1, Seed: 99}
+		if err := eng.RunReduceCtx(context.Background(), sc, reps, func(rep int, res *sim.Result) error {
+			want = append(want, res.SpreadTime)
+			return nil
+		}); err != nil {
+			t.Fatalf("scenario %d: plain run: %v", si, err)
+		}
+		compiled, err := set.Compile(sc)
+		if err != nil {
+			t.Fatalf("scenario %d: compile: %v", si, err)
+		}
+		for _, par := range []int{1, 3, 8} {
+			var got []float64
+			eng := Engine{Parallelism: par, Seed: 99}
+			if err := eng.RunReduceCompiledCtx(context.Background(), compiled, reps, func(rep int, res *sim.Result) error {
+				got = append(got, res.SpreadTime)
+				return nil
+			}); err != nil {
+				t.Fatalf("scenario %d: compiled run (par %d): %v", si, par, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("scenario %d par %d: %d reps reduced, want %d", si, par, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("scenario %d par %d rep %d: compiled %v != plain %v", si, par, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

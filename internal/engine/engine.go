@@ -132,6 +132,28 @@ func (e Engine) RunReduceFrom(ctx context.Context, sc Scenario, reps int, base *
 	if err != nil {
 		return err
 	}
+	return e.runReduceCompiled(ctx, cs, reps, base, reduce)
+}
+
+// RunReduceCompiledCtx is RunReduceCtx on an already-compiled scenario (see
+// Compile and CompileSet): compilation — validation, strategy selection,
+// deterministic network construction — is skipped, everything else is
+// identical, so the reduction is bit-identical to RunReduceCtx on the same
+// scenario. This is the hot entry point of sweep execution, where one
+// compiled cell shape backs many runs.
+func (e Engine) RunReduceCompiledCtx(ctx context.Context, c *Compiled, reps int, reduce Reducer) error {
+	return e.runReduceCompiled(ctx, c.cs, reps, xrand.New(e.Seed), reduce)
+}
+
+// RunReduceFromCompiled is RunReduceCompiledCtx with an explicit base
+// generator in place of the engine seed, mirroring RunReduceFrom.
+func (e Engine) RunReduceFromCompiled(ctx context.Context, c *Compiled, reps int, base *xrand.RNG, reduce Reducer) error {
+	return e.runReduceCompiled(ctx, c.cs, reps, base, reduce)
+}
+
+// runReduceCompiled is the shared streaming-reduction body behind every
+// RunReduce entry point.
+func (e Engine) runReduceCompiled(ctx context.Context, cs *compiledScenario, reps int, base *xrand.RNG, reduce Reducer) error {
 	if reps < 1 {
 		return fmt.Errorf("engine: reps must be >= 1, got %d", reps)
 	}
@@ -221,6 +243,14 @@ type compiledScenario struct {
 // no-draw contract of gen.Family.Deterministic and dynamicFamily.shareable is
 // what makes sharing them invisible to every repetition's RNG stream.
 func compileScenario(sc Scenario) (*compiledScenario, error) {
+	return compileScenarioShared(sc, nil)
+}
+
+// compileScenarioShared is compileScenario with an optional CompileSet: when
+// set is non-nil, the shared read-only networks it has already built for an
+// equal network spec are reused instead of rebuilt, so a grid of scenarios
+// over the same graph pays its construction once.
+func compileScenarioShared(sc Scenario, set *CompileSet) (*compiledScenario, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -232,7 +262,9 @@ func compileScenario(sc Scenario) (*compiledScenario, error) {
 	case dynamicFamilies[ns.Family].build != nil:
 		fam := dynamicFamilies[ns.Family]
 		if fam.shareable {
-			net, start, err := fam.build(ns.Params, nil)
+			net, start, err := set.lookupOrBuild(ns, func() (dynamic.Network, int, error) {
+				return fam.build(ns.Params, nil)
+			})
 			if err != nil {
 				return nil, fmt.Errorf("build network: %w", err)
 			}
@@ -241,14 +273,20 @@ func compileScenario(sc Scenario) (*compiledScenario, error) {
 			cs.dynFam, cs.dynParams = &fam, ns.Params
 		}
 	case gen.IsDeterministic(ns.Family):
-		// The nil rng makes a family that violates the no-draw contract fail
-		// loudly instead of silently skewing sibling repetitions' streams.
-		g, err := gen.Build(ns.Family, ns.Params, nil)
+		net, start, err := set.lookupOrBuild(ns, func() (dynamic.Network, int, error) {
+			// The nil rng makes a family that violates the no-draw contract
+			// fail loudly instead of silently skewing sibling repetitions'
+			// streams.
+			g, err := gen.Build(ns.Family, ns.Params, nil)
+			if err != nil {
+				return nil, 0, err
+			}
+			return dynamic.NewStatic(g), gen.DefaultStart(ns.Family, ns.Params, g), nil
+		})
 		if err != nil {
 			return nil, fmt.Errorf("build network: %w", err)
 		}
-		cs.shared = dynamic.NewStatic(g)
-		cs.sharedStart = gen.DefaultStart(ns.Family, ns.Params, g)
+		cs.shared, cs.sharedStart = net, start
 	default:
 		cs.staticFam, cs.staticParams = ns.Family, ns.Params
 	}

@@ -6,7 +6,9 @@ import (
 
 	"dynamicrumor/internal/bound"
 	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/engine"
 	"dynamicrumor/internal/graph"
+	"dynamicrumor/internal/xrand"
 )
 
 // RunE10 reproduces the Section 1.2 comparison with the related synchronous
@@ -31,33 +33,29 @@ func RunE10(cfg Config) (*Table, error) {
 	}
 
 	passed := true
-	for i, n := range sizes {
-		rng := cfg.rng(uint64(1000 + i))
+	err := sweepOver(cfg, 1000, sizes, func(i, n int, rng *xrand.RNG) error {
 		net, err := dynamic.NewAlternatingRegularComplete(n, 3, rng.Split(1))
 		if err != nil {
-			return nil, fmt.Errorf("alternating network n=%d: %w", n, err)
+			return fmt.Errorf("alternating network n=%d: %w", n, err)
 		}
 		factory := staticFactory(net, 0)
-		asyncTimes, err := measureAsync(cfg, factory, reps, rng.Split(2), 0)
+		times, err := measureCell(cfg, factory, reps, rng, 2,
+			engine.ProtocolAsync, engine.ProtocolSync)
 		if err != nil {
-			return nil, fmt.Errorf("async n=%d: %w", n, err)
+			return fmt.Errorf("n=%d: %w", n, err)
 		}
-		syncTimes, err := measureSync(cfg, factory, reps, rng.Split(3), 0)
-		if err != nil {
-			return nil, fmt.Errorf("sync n=%d: %w", n, err)
-		}
-		aMean, _ := summary(asyncTimes)
-		sMean, _ := summary(syncTimes)
+		aMean, _ := summary(times[0])
+		sMean, _ := summary(times[1])
 
 		profiler := bound.NewNetworkProfiler(func(t int) *graph.Graph { return net.GraphAt(t, nil) })
 		thm11, err := bound.Theorem11Normalized(profiler.Func(), n, 1, 0)
 		if err != nil {
-			return nil, fmt.Errorf("thm 1.1 bound n=%d: %w", n, err)
+			return fmt.Errorf("thm 1.1 bound n=%d: %w", n, err)
 		}
 		m := net.MaxDegreeRatio()
 		gss, err := bound.GiakkoupisSync(profiler.Func(), n, m, 1, 0)
 		if err != nil {
-			return nil, fmt.Errorf("GSS bound n=%d: %w", n, err)
+			return fmt.Errorf("GSS bound n=%d: %w", n, err)
 		}
 		t.AddRow(n, m, aMean, sMean, thm11, gss, ratio(float64(gss), float64(thm11)))
 
@@ -72,6 +70,10 @@ func RunE10(cfg Config) (*Table, error) {
 			passed = false
 			t.AddNote("VIOLATION: n=%d measured spread times (%.1f async, %.1f sync) are not Θ(log n)", n, aMean, sMean)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if passed {
 		t.AddNote("both algorithms finish in Θ(log n); the M(G) factor inflates the related-work bound by ~n while Theorem 1.1 stays tight")

@@ -85,25 +85,24 @@ func RunE1(cfg Config) (*Table, error) {
 
 	passed := true
 	for _, fam := range families {
-		for sizeIdx, n := range sizes {
-			rng := cfg.rng(uint64(100 + sizeIdx))
+		err := sweepOver(cfg, 100, sizes, func(sizeIdx, n int, rng *xrand.RNG) error {
 			factory, profile, err := fam.factory(n, rng.Split(3))
 			if err != nil {
-				return nil, fmt.Errorf("family %s n=%d: %w", fam.name, n, err)
+				return fmt.Errorf("family %s n=%d: %w", fam.name, n, err)
 			}
 			times, err := measureAsync(cfg, factory, reps, rng.Split(4), 0)
 			if err != nil {
-				return nil, fmt.Errorf("family %s n=%d: %w", fam.name, n, err)
+				return fmt.Errorf("family %s n=%d: %w", fam.name, n, err)
 			}
 			mean, q90 := summary(times)
 
 			full, err := bound.Theorem11(profile, n, 1, 0)
 			if err != nil {
-				return nil, fmt.Errorf("family %s n=%d bound: %w", fam.name, n, err)
+				return fmt.Errorf("family %s n=%d bound: %w", fam.name, n, err)
 			}
 			norm, err := bound.Theorem11Normalized(profile, n, 1, 0)
 			if err != nil {
-				return nil, fmt.Errorf("family %s n=%d normalized bound: %w", fam.name, n, err)
+				return fmt.Errorf("family %s n=%d normalized bound: %w", fam.name, n, err)
 			}
 			t.AddRow(fam.name, n, mean, q90, full, norm, ratio(float64(full), mean))
 			// Theorem 1.1 guarantees measured <= T(G,1) with probability
@@ -112,6 +111,10 @@ func RunE1(cfg Config) (*Table, error) {
 				passed = false
 				t.AddNote("VIOLATION: %s n=%d q90 spread %.2f exceeds T(G,1)=%d", fam.name, n, q90, full)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	if passed {

@@ -32,13 +32,12 @@ func RunE2(cfg Config) (*Table, error) {
 	}
 
 	passed := true
-	for i, rho := range rhoSweep {
-		rng := cfg.rng(uint64(200 + i))
+	err := sweepOver(cfg, 200, rhoSweep, func(i int, rho float64, rng *xrand.RNG) error {
 		// Build one instance just to read the parameters and the analytic
 		// profile (all instances share them).
 		probe, err := dynamic.NewGNRho(n, rho, 0, rng.Split(1))
 		if err != nil {
-			return nil, fmt.Errorf("GNRho(n=%d, rho=%v): %w", n, rho, err)
+			return fmt.Errorf("GNRho(n=%d, rho=%v): %w", n, rho, err)
 		}
 		factory := func(r *xrand.RNG) (dynamic.Network, int, error) {
 			net, err := dynamic.NewGNRho(n, rho, 0, r)
@@ -49,7 +48,7 @@ func RunE2(cfg Config) (*Table, error) {
 		}
 		times, err := measureAsync(cfg, factory, reps, rng.Split(2), 0)
 		if err != nil {
-			return nil, fmt.Errorf("GNRho(n=%d, rho=%v): %w", n, rho, err)
+			return fmt.Errorf("GNRho(n=%d, rho=%v): %w", n, rho, err)
 		}
 		mean, _ := summary(times)
 
@@ -62,11 +61,11 @@ func RunE2(cfg Config) (*Table, error) {
 		})
 		norm, err := bound.Theorem11Normalized(profile, n, 1, 4*n*n)
 		if err != nil {
-			return nil, fmt.Errorf("normalized bound rho=%v: %w", rho, err)
+			return fmt.Errorf("normalized bound rho=%v: %w", rho, err)
 		}
 		full, err := bound.Theorem11(profile, n, 1, 0)
 		if err != nil {
-			return nil, fmt.Errorf("full bound rho=%v: %w", rho, err)
+			return fmt.Errorf("full bound rho=%v: %w", rho, err)
 		}
 		t.AddRow(n, rho, probe.Delta(), probe.K(), mean, lower, norm, full,
 			ratio(mean, lower), ratio(float64(full), mean))
@@ -82,6 +81,10 @@ func RunE2(cfg Config) (*Table, error) {
 			passed = false
 			t.AddNote("VIOLATION: rho=%.3f measured %.1f above T(G,1)=%d", rho, mean, full)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if passed {
 		t.AddNote("for every rho: lower bound <~ measured <= T(G,1); gap between bounds is the predicted O(log^2 n) factor")

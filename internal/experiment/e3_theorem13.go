@@ -29,12 +29,11 @@ func RunE3(cfg Config) (*Table, error) {
 
 	passed := true
 	var ns, means []float64
-	for i, n := range sizes {
-		rng := cfg.rng(uint64(300 + i))
+	err := sweepOver(cfg, 300, sizes, func(i, n int, rng *xrand.RNG) error {
 		rho := 10.0 / float64(n) // the hardest admissible absolute diligence
 		probe, err := dynamic.NewAbsGNRho(n, rho, rng.Split(1))
 		if err != nil {
-			return nil, fmt.Errorf("AbsGNRho(n=%d): %w", n, err)
+			return fmt.Errorf("AbsGNRho(n=%d): %w", n, err)
 		}
 		factory := func(r *xrand.RNG) (dynamic.Network, int, error) {
 			net, err := dynamic.NewAbsGNRho(n, rho, r)
@@ -45,7 +44,7 @@ func RunE3(cfg Config) (*Table, error) {
 		}
 		times, err := measureAsync(cfg, factory, reps, rng.Split(2), 0)
 		if err != nil {
-			return nil, fmt.Errorf("AbsGNRho(n=%d): %w", n, err)
+			return fmt.Errorf("AbsGNRho(n=%d): %w", n, err)
 		}
 		mean, _ := summary(times)
 
@@ -55,7 +54,7 @@ func RunE3(cfg Config) (*Table, error) {
 		})
 		tabs, err := bound.Theorem13(profile, n, 0)
 		if err != nil {
-			return nil, fmt.Errorf("T_abs(n=%d): %w", n, err)
+			return fmt.Errorf("T_abs(n=%d): %w", n, err)
 		}
 		worst := bound.Remark14WorstCase(n)
 		t.AddRow(n, probe.Delta(), mean, tabs, worst,
@@ -70,6 +69,10 @@ func RunE3(cfg Config) (*Table, error) {
 			passed = false
 			t.AddNote("VIOLATION: n=%d measured %.1f exceeds the Remark 1.4 bound %.0f", n, mean, worst)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	alpha, err := stats.GrowthExponent(ns, means)
 	if err == nil {

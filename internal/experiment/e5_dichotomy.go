@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dynamicrumor/internal/dynamic"
+	"dynamicrumor/internal/engine"
 	"dynamicrumor/internal/stats"
 	"dynamicrumor/internal/xrand"
 )
@@ -35,8 +36,7 @@ func RunE5(cfg Config) (*Table, error) {
 
 	passed := true
 	var g1AsyncNs, g1AsyncQ90s []float64
-	for i, n := range sizes {
-		rng := cfg.rng(uint64(500 + i))
+	err := sweepOver(cfg, 500, sizes, func(i, n int, rng *xrand.RNG) error {
 		logn := math.Log(float64(n))
 
 		// G1: clique with a pendant, then two bridged cliques. Theorem 1.7(i)
@@ -52,11 +52,11 @@ func RunE5(cfg Config) (*Table, error) {
 		}
 		g1Async, err := measureAsync(cfg, g1Factory, g1Reps, rng.Split(1), 0)
 		if err != nil {
-			return nil, fmt.Errorf("G1 async n=%d: %w", n, err)
+			return fmt.Errorf("G1 async n=%d: %w", n, err)
 		}
 		g1Sync, err := measureSync(cfg, g1Factory, reps, rng.Split(2), 0)
 		if err != nil {
-			return nil, fmt.Errorf("G1 sync n=%d: %w", n, err)
+			return fmt.Errorf("G1 sync n=%d: %w", n, err)
 		}
 		aMean, aQ90 := summary(g1Async)
 		sMean, _ := summary(g1Sync)
@@ -96,16 +96,16 @@ func RunE5(cfg Config) (*Table, error) {
 			}
 			return net, net.StartVertex(), nil
 		}
-		g2Async, err := measureAsync(cfg, g2Factory, reps, rng.Split(3), 0)
+		// The G2 pair shares repetitions, so it is one measureCell fan-out:
+		// async from rng.Split(3), sync from rng.Split(4). (The G1 pair above
+		// stays hand-rolled because its two measurements use different reps.)
+		g2Times, err := measureCell(cfg, g2Factory, reps, rng, 3,
+			engine.ProtocolAsync, engine.ProtocolSync)
 		if err != nil {
-			return nil, fmt.Errorf("G2 async n=%d: %w", n, err)
+			return fmt.Errorf("G2 n=%d: %w", n, err)
 		}
-		g2Sync, err := measureSync(cfg, g2Factory, reps, rng.Split(4), 0)
-		if err != nil {
-			return nil, fmt.Errorf("G2 sync n=%d: %w", n, err)
-		}
-		aMean2, aQ902 := summary(g2Async)
-		sMean2, _ := summary(g2Sync)
+		aMean2, aQ902 := summary(g2Times[0])
+		sMean2, _ := summary(g2Times[1])
 		t.AddRow("G2", n, aMean2, sMean2, ratio(aQ902, float64(n)), ratio(aQ902, logn),
 			ratio(sMean2, logn), ratio(sMean2, float64(n)))
 		// Theorem 1.7(ii): Ts(G2) is exactly n rounds.
@@ -117,6 +117,10 @@ func RunE5(cfg Config) (*Table, error) {
 			passed = false
 			t.AddNote("VIOLATION: G2 n=%d async mean %.1f not Θ(log n)", n, aMean2)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Ta(G1) = Ω(n): the q90 over the size sweep grows roughly linearly
 	// because the slow branch dominates the upper quantiles. This is reported

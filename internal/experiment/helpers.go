@@ -71,6 +71,42 @@ func measureFlooding(cfg Config, factory networkFactory, reps int, rng *xrand.RN
 	})
 }
 
+// The experiment drivers are parameter sweeps, planned with the same shape
+// the service's sweep planner uses (internal/service): one outermost grid
+// axis, one cell per grid point, and a deterministic per-cell RNG stream.
+// The stream discipline is exactly what the historical hand-rolled loops
+// did — cell i draws from cfg.rng(base + i), and each measurement within a
+// cell from consecutive rng.Split labels — so a driver rebuilt on these
+// helpers reproduces its tables byte for byte.
+
+// sweepOver drives one grid axis: cell i receives its axis value and the
+// cell's base RNG (stream base+i). An error from a cell aborts the sweep.
+func sweepOver[T any](cfg Config, base uint64, axis []T, cell func(i int, v T, rng *xrand.RNG) error) error {
+	for i, v := range axis {
+		if err := cell(i, v, cfg.rng(base+uint64(i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureCell measures one grid cell under several protocols — the per-cell
+// protocol fan-out a sweep plans. Protocol k's ensemble draws from
+// rng.Split(first+k), the consecutive-split layout of the historical loops;
+// the zero MaxTime/MaxRounds select the simulator defaults, as the loops'
+// explicit zeros did.
+func measureCell(cfg Config, factory networkFactory, reps int, rng *xrand.RNG, first uint64, protocols ...engine.ProtocolKind) ([][]float64, error) {
+	out := make([][]float64, len(protocols))
+	for k, p := range protocols {
+		times, err := measure(cfg, factory, reps, rng.Split(first+uint64(k)), engine.Scenario{Protocol: p})
+		if err != nil {
+			return nil, err
+		}
+		out[k] = times
+	}
+	return out, nil
+}
+
 // repScratch bundles the recycled simulator state and result one Monte-Carlo
 // worker carries across all of its repetitions in the experiments that drive
 // the simulators directly (E6, E9) rather than through the engine. Only the

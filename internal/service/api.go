@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"net"
 	"net/http"
+	"time"
 
 	"dynamicrumor/internal/engine"
 )
@@ -45,6 +48,12 @@ type RunsResponse struct {
 //	GET    /v1/runs                list jobs in submission order
 //	GET    /v1/runs/{id}           job status + summary when done
 //	DELETE /v1/runs/{id}           cancel a queued or running job
+//	POST   /v1/sweeps              submit a parameter sweep (202; 200 if
+//	                               every cell was served from the cache)
+//	GET    /v1/sweeps              list sweeps in submission order
+//	GET    /v1/sweeps/{id}         sweep status + per-cell aggregate table
+//	GET    /v1/sweeps/{id}/events  SSE stream of per-cell summaries
+//	DELETE /v1/sweeps/{id}         cancel a sweep's unfinished cells
 //	GET    /v1/scenarios/families  the network family registry
 //	GET    /healthz                liveness
 //	GET    /metrics                job/cache/budget/throughput counters
@@ -54,10 +63,25 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /v1/scenarios/families", s.handleFamilies)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// clientKey identifies the submitting client for rate limiting: the remote
+// host with the ephemeral port stripped, so one client's connections share
+// one bucket.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -120,26 +144,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.submit(sc, canonical, req.Reps, req.Seed)
-	var unavailable *UnavailableError
-	switch {
-	case err == nil:
-	case errors.Is(err, errQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
-		return
-	case errors.Is(err, errShutdown):
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.As(err, &unavailable):
-		// Fail fast: the backend cannot execute new work right now (e.g. a
-		// cluster with zero live workers). Tell the client when to come back.
-		if unavailable.RetryAfter > 0 {
-			w.Header().Set("Retry-After", fmt.Sprint(int(unavailable.RetryAfter.Seconds())))
-		}
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	default:
-		writeError(w, http.StatusInternalServerError, err)
+	view, err := s.submit(sc, canonical, req.Reps, req.Seed, clientKey(r))
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -147,6 +154,43 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, view)
+}
+
+// writeSubmitError maps the admission errors shared by the run and sweep
+// submission endpoints to their HTTP statuses.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var unavailable *UnavailableError
+	var limited *rateLimitedError
+	switch {
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.As(err, &limited):
+		// The client is submitting faster than the configured -rate; tell it
+		// when the next token accrues.
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(limited.retryAfter)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, errShutdown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &unavailable):
+		// Fail fast: the backend cannot execute new work right now (e.g. a
+		// cluster with zero live workers). Tell the client when to come back.
+		if unavailable.RetryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(unavailable.RetryAfter)))
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// retryAfterSeconds renders a wait as whole Retry-After seconds, rounding up
+// so a client honoring the header never retries before the wait elapses.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +225,139 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusAccepted
 	}
 	writeJSON(w, status, view)
+}
+
+func (s *Service) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, errors.New("trailing content after the request object"))
+		return
+	}
+	if req.Reps < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`"reps" must be >= 1, got %d`, req.Reps))
+		return
+	}
+	if req.Reps > s.maxReps {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`"reps" %d exceeds the limit of %d`, req.Reps, s.maxReps))
+		return
+	}
+	cells, err := planSweep(req, s.defaultStream)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.submitSweep(req, cells, clientKey(r))
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	// 200 when the whole grid was served without new work (every cell a
+	// cache hit), mirroring the single-run endpoint's cache-hit status.
+	status := http.StatusAccepted
+	if view.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Service) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SweepsResponse{Sweeps: s.sweepViews()})
+}
+
+func (s *Service) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.sweepView(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownSweep)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.cancelSweep(r.PathValue("id"))
+	switch {
+	case errors.Is(err, errUnknownSweep):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, errAlreadyTerminal):
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep already finished (state %s)", view.State))
+		return
+	}
+	// Queued cells cancel synchronously; running cells settle at their next
+	// repetition boundary, so the sweep may still read "running" here (202,
+	// poll or stream events until it is terminal).
+	status := http.StatusOK
+	if !view.State.Terminal() {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, view)
+}
+
+// handleSweepEvents serves the sweep's event log as server-sent events: one
+// "cell" event per settled cell (its summary byte-identical to the
+// standalone run's), then one final "sweep" event with the aggregate view.
+// A subscriber connecting mid-sweep replays the log from the start before
+// following live settlements, so the stream is complete at any join time;
+// the stream ends once the sweep is terminal.
+func (s *Service) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	id := r.PathValue("id")
+	ch, ok := s.subscribeSweep(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownSweep)
+		return
+	}
+	defer s.unsubscribeSweep(id, ch)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	cursor := 0
+	for {
+		events, finished, ok := s.sweepEventsAfter(id, cursor)
+		if !ok {
+			// The sweep was pruned from history while the client streamed.
+			return
+		}
+		for _, ev := range events {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.id, ev.name, ev.data); err != nil {
+				return
+			}
+		}
+		if len(events) > 0 {
+			cursor += len(events)
+			flusher.Flush()
+		}
+		if finished {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+	}
 }
 
 func (s *Service) handleFamilies(w http.ResponseWriter, r *http.Request) {

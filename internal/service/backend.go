@@ -38,6 +38,13 @@ type BackendRun struct {
 	// repetitions finish, feeding the job's progress counters. It must be safe
 	// to call from any goroutine.
 	Observe func(delta int64)
+	// Compile, when non-nil, is the compile set shared by every run of one
+	// sweep: a locally-executing backend compiles the scenario through it so
+	// deterministic networks are built once per distinct grid shape and read
+	// concurrently by every cell over the same graph. Sharing never changes
+	// results (see engine.CompileSet); backends that execute elsewhere ignore
+	// it and compile on their own nodes.
+	Compile *engine.CompileSet
 }
 
 // BackendResult is a completed run: the completion count and the folded
@@ -87,12 +94,16 @@ type readyChecker interface {
 // byte for byte.
 type LocalBackend struct{}
 
-// Run executes the repetitions on Workers engine goroutines.
+// Run executes the repetitions on Workers engine goroutines. A run carrying
+// a sweep's compile set compiles through it, sharing deterministic networks
+// with the sweep's other cells; compilation through a set is bit-identical
+// to plain execution (see engine.CompileSet), so the two paths produce the
+// same summary bytes.
 func (LocalBackend) Run(ctx context.Context, run BackendRun) (BackendResult, error) {
 	eng := engine.Engine{Parallelism: run.Workers, Seed: run.Seed}
 	stream := NewSummaryStream()
 	completed := 0
-	err := eng.RunReduceCtx(ctx, run.Scenario, run.Reps, func(rep int, res *sim.Result) error {
+	reduce := func(rep int, res *sim.Result) error {
 		stream.Add(res.SpreadTime)
 		if res.Completed {
 			completed++
@@ -101,7 +112,17 @@ func (LocalBackend) Run(ctx context.Context, run BackendRun) (BackendResult, err
 			run.Observe(1)
 		}
 		return nil
-	})
+	}
+	var err error
+	if run.Compile != nil {
+		var compiled *engine.Compiled
+		compiled, err = run.Compile.Compile(run.Scenario)
+		if err == nil {
+			err = eng.RunReduceCompiledCtx(ctx, compiled, run.Reps, reduce)
+		}
+	} else {
+		err = eng.RunReduceCtx(ctx, run.Scenario, run.Reps, reduce)
+	}
 	if err != nil {
 		return BackendResult{}, err
 	}

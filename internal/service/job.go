@@ -61,10 +61,20 @@ type job struct {
 	key       string
 	reps      int
 	seed      uint64
+	seq       int
 	cacheHit  bool
 	// journaled marks a job recorded in the durable run ledger; its terminal
 	// transition must be journalled too, or a restart re-runs it.
 	journaled bool
+
+	// sweep/cellLabel/compile mark a sweep cell: the owning sweep, the
+	// planner's grid-point label, and the sweep-wide compile set the backend
+	// routes scenario compilation through so deterministic networks are
+	// shared across cells. Cells are not journalled individually — the sweep
+	// record re-plans them — and are pruned with their sweep.
+	sweep     *sweep
+	cellLabel string
+	compile   *engine.CompileSet
 
 	workers         int
 	repsDone        atomic.Int64
@@ -148,6 +158,10 @@ type JobView struct {
 	CancelRequested bool `json:"cancel_requested,omitempty"`
 	// Workers is the worker-budget share granted to the running job.
 	Workers int `json:"workers,omitempty"`
+	// Sweep and Cell identify a sweep cell: the owning sweep's ID and the
+	// planner's grid-point label. Absent on plain submissions.
+	Sweep string `json:"sweep,omitempty"`
+	Cell  string `json:"cell,omitempty"`
 	// RepsDone counts reduced repetitions (= Reps once done).
 	RepsDone    int64  `json:"reps_done"`
 	SubmittedAt string `json:"submitted_at"`
@@ -170,12 +184,16 @@ func (j *job) view() JobView {
 		CacheHit:        j.cacheHit,
 		CoalescedWith:   coalescedID(j),
 		CancelRequested: j.cancelRequested && j.state == StateRunning,
+		Cell:            j.cellLabel,
 		RepsDone:        j.repsDone.Load(),
 		SubmittedAt:     rfc3339(j.submitted),
 		StartedAt:       rfc3339(j.started),
 		FinishedAt:      rfc3339(j.finished),
 		Error:           j.errMsg,
 		Summary:         j.summary,
+	}
+	if j.sweep != nil {
+		v.Sweep = j.sweep.id
 	}
 	if j.state == StateRunning {
 		v.Workers = j.workers

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -27,8 +28,9 @@ import (
 
 // Journal record types of the service ledger.
 const (
-	recSubmit byte = 1 // a leader job was accepted
-	recSettle byte = 2 // that job reached a client-visible terminal state
+	recSubmit      byte = 1 // a leader job was accepted
+	recSettle      byte = 2 // a job or sweep reached a terminal state
+	recSweepSubmit byte = 3 // a sweep was accepted (cells are re-planned)
 )
 
 // journalCompactBytes is the ledger size that triggers snapshot compaction.
@@ -43,17 +45,37 @@ type submitRecord struct {
 	SubmittedAt time.Time       `json:"submitted_at"`
 }
 
-// settleRecord is the recSettle payload.
+// settleRecord is the recSettle payload. Job and sweep IDs share the record
+// type — their prefixes ("j", "s") keep the namespaces disjoint.
 type settleRecord struct {
 	ID string `json:"id"`
+}
+
+// sweepRecord is the recSweepSubmit payload. The cells are not journalled —
+// planning is pure and deterministic, so recovery re-plans the recorded
+// request (with the default stream captured at submission time, in case the
+// daemon restarted with a different -stream-default) and re-adopts every
+// cell under its original identity and cache key.
+type sweepRecord struct {
+	ID            string          `json:"id"`
+	Request       json.RawMessage `json:"request"`
+	DefaultStream int             `json:"default_stream,omitempty"`
+	SubmittedAt   time.Time       `json:"submitted_at"`
 }
 
 // openLedger opens the service journal under dir, replays it into the
 // not-yet-settled submission list, and re-adopts those jobs. Called from
 // New before the dispatcher starts; no locking needed.
 func (s *Service) openLedger(path string) error {
+	// pendingEntry holds either kind of unsettled submission; replay order
+	// across jobs and sweeps is preserved so re-adoption re-creates the
+	// original FIFO queue.
+	type pendingEntry struct {
+		job   *submitRecord
+		sweep *sweepRecord
+	}
 	var order []string
-	pending := make(map[string]submitRecord)
+	pending := make(map[string]pendingEntry)
 	j, err := store.OpenJournal(path, func(rec store.Record) error {
 		switch rec.Type {
 		case recSubmit:
@@ -64,7 +86,16 @@ func (s *Service) openLedger(path string) error {
 			if _, ok := pending[sr.ID]; !ok {
 				order = append(order, sr.ID)
 			}
-			pending[sr.ID] = sr
+			pending[sr.ID] = pendingEntry{job: &sr}
+		case recSweepSubmit:
+			var sr sweepRecord
+			if err := json.Unmarshal(rec.Payload, &sr); err != nil {
+				return fmt.Errorf("sweep record: %w", err)
+			}
+			if _, ok := pending[sr.ID]; !ok {
+				order = append(order, sr.ID)
+			}
+			pending[sr.ID] = pendingEntry{sweep: &sr}
 		case recSettle:
 			var st settleRecord
 			if err := json.Unmarshal(rec.Payload, &st); err != nil {
@@ -81,15 +112,71 @@ func (s *Service) openLedger(path string) error {
 	}
 	s.journal = j
 	for _, id := range order {
-		sr, ok := pending[id]
-		if !ok {
-			continue
+		entry, ok := pending[id]
+		switch {
+		case !ok:
+		case entry.job != nil:
+			s.recoverJob(*entry.job)
+		case entry.sweep != nil:
+			s.recoverSweep(*entry.sweep)
 		}
-		s.recoverJob(sr)
 	}
 	// Compact at startup: settled pairs and any skipped records are dropped,
-	// leaving one submit record per live job.
+	// leaving one submit record per live job or sweep.
 	return s.compactLedgerLocked()
+}
+
+// recoverSweep re-adopts one journalled, unsettled sweep: the recorded
+// request is re-planned (planning is deterministic, so the cells carry
+// their original IDs, labels and cache keys) and every cell runs the
+// standard re-adoption ladder — settled from the durable cache when its
+// result survived the crash, coalesced onto an identical recovered run, or
+// re-enqueued. Cells that all settle from the cache finalize the sweep
+// immediately, exactly as a live sweep would.
+func (s *Service) recoverSweep(sr sweepRecord) {
+	var req SweepRequest
+	if err := json.Unmarshal(sr.Request, &req); err != nil {
+		s.logf("service: recovery: sweep %s request no longer decodes, dropping: %v", sr.ID, err)
+		return
+	}
+	cells, err := planSweep(req, sr.DefaultStream)
+	if err != nil {
+		// The ledger outlived a planner or scenario schema change; dropping
+		// the sweep is the only option that lets the daemon start.
+		s.logf("service: recovery: sweep %s no longer plans, dropping: %v", sr.ID, err)
+		return
+	}
+	now := s.clock()
+	s.submitSeq++
+	sw := &sweep{
+		id:            sr.ID,
+		name:          req.Sweep.Name,
+		seq:           s.submitSeq,
+		state:         StateRunning,
+		request:       sr.Request,
+		defaultStream: sr.DefaultStream,
+		reps:          req.Reps,
+		total:         len(cells),
+		compile:       engine.NewCompileSet(),
+		journaled:     true,
+		submitted:     sr.SubmittedAt,
+	}
+	if sw.submitted.IsZero() {
+		sw.submitted = now
+	}
+	s.sweeps[sw.id] = sw
+	s.sweepOrder = append(s.sweepOrder, sw.id)
+	if n, ok := parseSweepSeq(sr.ID); ok && n > s.nextSweepID {
+		s.nextSweepID = n
+	}
+	s.sweepsRecovered++
+	for i, pc := range cells {
+		s.adoptCellLocked(sw, i, pc, now, true)
+	}
+	if sw.total == 0 {
+		s.finalizeSweepLocked(sw)
+	}
+	s.logf("service: recovery: sweep %s re-adopted (%d cells, %d already settled)", sw.id, sw.total, sw.settled)
 }
 
 // recoverJob re-adopts one journalled, unsettled submission: served from
@@ -105,6 +192,7 @@ func (s *Service) recoverJob(sr submitRecord) {
 	}
 	key := runKey(sr.Canonical, sr.Seed, sr.Reps)
 	now := s.clock()
+	s.submitSeq++
 	j := &job{
 		id:        sr.ID,
 		scenario:  sc,
@@ -112,6 +200,7 @@ func (s *Service) recoverJob(sr submitRecord) {
 		key:       key,
 		reps:      sr.Reps,
 		seed:      sr.Seed,
+		seq:       s.submitSeq,
 		submitted: sr.SubmittedAt,
 		journaled: true,
 	}
@@ -203,15 +292,64 @@ func (s *Service) journalSettleLocked(j *job) {
 	}
 }
 
+// journalSweepSubmitLocked durably records an accepted sweep. One fsync'd
+// record covers the whole grid — cells are re-planned at recovery — so sweep
+// admission pays a single journal append no matter how many cells it plans.
+// Callers hold the mutex.
+func (s *Service) journalSweepSubmitLocked(sw *sweep) error {
+	if s.journal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(sweepRecord{
+		ID: sw.id, Request: sw.request, DefaultStream: sw.defaultStream, SubmittedAt: sw.submitted,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.journal.Append(store.Record{Type: recSweepSubmit, Payload: payload}); err != nil {
+		return err
+	}
+	sw.journaled = true
+	return nil
+}
+
+// journalSweepSettleLocked records a sweep's terminal transition. Like job
+// settles, loss is harmless — the sweep would be re-adopted and its cells
+// settled from the durable cache — so failures are logged, not fatal.
+// Callers hold the mutex.
+func (s *Service) journalSweepSettleLocked(sw *sweep) {
+	if s.journal == nil || !sw.journaled {
+		return
+	}
+	payload, err := json.Marshal(settleRecord{ID: sw.id})
+	if err == nil {
+		err = s.journal.Append(store.Record{Type: recSettle, Payload: payload})
+	}
+	if err != nil {
+		s.logf("service: journal settle of sweep %s: %v", sw.id, err)
+		return
+	}
+	if s.journal.Size() > journalCompactBytes {
+		if err := s.compactLedgerLocked(); err != nil {
+			s.logf("service: journal compaction: %v", err)
+		}
+	}
+}
+
 // compactLedgerLocked rewrites the journal to one submit record per live
-// journalled job — the snapshot that keeps the ledger's size proportional
-// to in-flight work, not lifetime submissions. Callers hold the mutex (or
-// are in single-threaded startup).
+// journalled job or sweep — the snapshot that keeps the ledger's size
+// proportional to in-flight work, not lifetime submissions. Records are
+// written in submission-sequence order so a replay re-creates the original
+// FIFO queue. Callers hold the mutex (or are in single-threaded startup).
 func (s *Service) compactLedgerLocked() error {
 	if s.journal == nil {
 		return nil
 	}
-	var records []store.Record
+	type liveRecord struct {
+		seq int
+		rec store.Record
+	}
+	var live []liveRecord
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if !j.journaled || j.state.Terminal() {
@@ -223,7 +361,25 @@ func (s *Service) compactLedgerLocked() error {
 		if err != nil {
 			return err
 		}
-		records = append(records, store.Record{Type: recSubmit, Payload: payload})
+		live = append(live, liveRecord{seq: j.seq, rec: store.Record{Type: recSubmit, Payload: payload}})
+	}
+	for _, id := range s.sweepOrder {
+		sw := s.sweeps[id]
+		if !sw.journaled || sw.state.Terminal() {
+			continue
+		}
+		payload, err := json.Marshal(sweepRecord{
+			ID: sw.id, Request: sw.request, DefaultStream: sw.defaultStream, SubmittedAt: sw.submitted,
+		})
+		if err != nil {
+			return err
+		}
+		live = append(live, liveRecord{seq: sw.seq, rec: store.Record{Type: recSweepSubmit, Payload: payload}})
+	}
+	sort.Slice(live, func(i, k int) bool { return live[i].seq < live[k].seq })
+	records := make([]store.Record, 0, len(live))
+	for _, lr := range live {
+		records = append(records, lr.rec)
 	}
 	if err := s.journal.Rewrite(records); err != nil {
 		return err

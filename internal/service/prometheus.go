@@ -79,6 +79,28 @@ func (s *Service) writePrometheus(w http.ResponseWriter) {
 		counter("rumord_cluster_shards_replayed_total", "Journalled shard uploads replayed through the exact merger during recovery.", i(m.Cluster.ShardsReplayed))
 	}
 
+	if m.Sweeps != nil {
+		counter("rumord_sweeps_submitted_total", "Parameter sweeps accepted.", i(m.Sweeps.Submitted))
+		counter("rumord_sweeps_recovered_total", "Sweeps re-adopted from the run ledger at startup.", i(m.Sweeps.Recovered))
+		fmt.Fprintf(&b, "# HELP rumord_sweeps Sweeps by lifecycle state.\n# TYPE rumord_sweeps gauge\n")
+		for _, st := range []struct {
+			label string
+			n     int
+		}{
+			{"active", m.Sweeps.Active},
+			{"done", m.Sweeps.Done},
+			{"failed", m.Sweeps.Failed},
+			{"cancelled", m.Sweeps.Cancelled},
+		} {
+			fmt.Fprintf(&b, "rumord_sweeps{state=%q} %d\n", st.label, st.n)
+		}
+	}
+
+	if m.RateLimit != nil {
+		counter("rumord_rate_limited_total", "Submissions refused by the per-client rate limiter.", i(m.RateLimit.Rejected))
+		gauge("rumord_rate_limit_clients", "Client token buckets currently tracked.", i(int64(m.RateLimit.Clients)))
+	}
+
 	if m.Durability != nil {
 		counter("rumord_jobs_recovered_total", "Submissions re-adopted from the run ledger at startup.", i(m.Durability.JobsRecovered))
 		gauge("rumord_journal_bytes", "Current size of the run ledger on disk.", i(m.Durability.JournalBytes))

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Per-client token-bucket rate limiting on the submission endpoints
+// (POST /v1/runs and POST /v1/sweeps), enabled by Config.RatePerSec.
+// Only submissions that create new work consume a token: cache hits and
+// coalesced followers cost the service nothing and are always served, so a
+// client replaying a settled grid is never throttled. Buckets are keyed by
+// the client host (remote address with the port stripped) and refill
+// continuously at the configured rate up to the burst capacity.
+
+// rateLimiterMaxClients bounds the bucket map; beyond it, buckets that have
+// refilled to capacity (an idle client) are dropped before admitting a new
+// key, so an address-spraying client cannot grow daemon memory unboundedly.
+const rateLimiterMaxClients = 4096
+
+// rateLimiter is a token-bucket admission limiter. It is guarded by the
+// service mutex: all calls happen inside submit paths that already hold it.
+type rateLimiter struct {
+	rate    float64 // tokens added per second
+	burst   float64 // bucket capacity
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter admitting rate submissions per second with
+// the given burst capacity (<= 0 selects twice the rate, at least 1).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Ceil(2 * rate)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow consumes one token from the client's bucket. When the bucket is
+// empty it reports the wait until the next token accrues.
+func (l *rateLimiter) allow(client string, now time.Time) (time.Duration, bool) {
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= rateLimiterMaxClients {
+			l.evictIdle(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return wait, false
+}
+
+// evictIdle drops buckets that have refilled to capacity — clients idle long
+// enough that forgetting them is indistinguishable from keeping them.
+func (l *rateLimiter) evictIdle(now time.Time) {
+	for k, b := range l.buckets {
+		tokens := b.tokens + now.Sub(b.last).Seconds()*l.rate
+		if tokens >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// rateLimitedError reports a throttled submission; the API layer maps it to
+// 429 with a Retry-After header.
+type rateLimitedError struct {
+	retryAfter time.Duration
+}
+
+func (e *rateLimitedError) Error() string {
+	return fmt.Sprintf("submission rate limit exceeded, retry in %s", e.retryAfter.Round(time.Millisecond))
+}
+
+// allowLocked consults the rate limiter for a submission that creates new
+// work; a nil limiter or an unidentified client admits everything. Callers
+// hold the mutex.
+func (s *Service) allowLocked(client string, now time.Time) error {
+	if s.limiter == nil || client == "" {
+		return nil
+	}
+	wait, ok := s.limiter.allow(client, now)
+	if ok {
+		return nil
+	}
+	s.rateLimited++
+	return &rateLimitedError{retryAfter: wait}
+}

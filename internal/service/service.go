@@ -70,6 +70,14 @@ type Config struct {
 	// re-adopted on restart, so in-flight runs survive SIGKILL. A cluster
 	// coordinator sharing the directory keeps its own journal there too.
 	StateDir string
+	// RatePerSec, when positive, enables per-client token-bucket rate
+	// limiting of the submission endpoints: each client host is admitted
+	// RatePerSec work-creating submissions per second. Cache hits and
+	// coalesced submissions are exempt — they cost nothing to serve.
+	RatePerSec float64
+	// RateBurst is the token-bucket capacity (<= 0 selects twice the rate,
+	// at least 1). Ignored unless RatePerSec is positive.
+	RateBurst int
 	// Logf, when non-nil, receives durability and recovery events.
 	Logf func(format string, args ...any)
 	// Clock overrides the time source (tests pin it for golden responses).
@@ -107,6 +115,20 @@ type Service struct {
 	misses    int64
 	coalesced int64
 	started   time.Time
+
+	// Sweep subsystem (see sweep.go). submitSeq totally orders submissions
+	// across jobs and sweeps so ledger compaction preserves replay order.
+	sweeps          map[string]*sweep
+	sweepOrder      []string
+	nextSweepID     int
+	sweepTerminal   int
+	submitSeq       int
+	sweepsSubmitted int64
+	sweepsRecovered int64
+
+	// Rate limiting (nil unless Config.RatePerSec is positive).
+	limiter     *rateLimiter
+	rateLimited int64
 
 	// Durability layer (nil / zero when CacheDir / StateDir are unset).
 	disk          *store.Cache
@@ -177,6 +199,10 @@ func New(cfg Config) (*Service, error) {
 	s.cond = sync.NewCond(&s.mu)
 	s.jobs = make(map[string]*job)
 	s.inflight = make(map[string]*job)
+	s.sweeps = make(map[string]*sweep)
+	if cfg.RatePerSec > 0 {
+		s.limiter = newRateLimiter(cfg.RatePerSec, cfg.RateBurst)
+	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.started = s.clock()
 	if cfg.CacheDir != "" {
@@ -209,7 +235,7 @@ func (s *Service) Close() {
 		j.state = StateCancelled
 		j.errMsg = "cancelled: service shutting down"
 		j.finished = now
-		s.terminal++
+		s.markTerminalLocked(j)
 		s.settleFollowersLocked(j)
 	}
 	s.queue = nil
@@ -227,8 +253,10 @@ func (s *Service) Close() {
 // submit validates a submission and either answers it from the cache or
 // enqueues a job. The returned view is rendered atomically with the
 // enqueue, so a submit response always reads "queued" (or "done" for a
-// cache hit) even if the dispatcher picks the job up immediately.
-func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed uint64) (JobView, error) {
+// cache hit) even if the dispatcher picks the job up immediately. The
+// client identifies the submitter for rate limiting; cache hits and
+// coalesced submissions are served without consulting the limiter.
+func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed uint64, client string) (JobView, error) {
 	key := runKey(canonical, seed, reps)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -243,7 +271,7 @@ func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed ui
 		j.cacheHit = true
 		j.started, j.finished = now, now
 		j.summary = summary
-		s.terminal++
+		s.markTerminalLocked(j)
 		s.pruneHistoryLocked()
 		return j.view(), nil
 	}
@@ -268,6 +296,9 @@ func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed ui
 	}
 	if len(s.queue) >= s.queueLimit {
 		return JobView{}, errQueueFull
+	}
+	if err := s.allowLocked(client, now); err != nil {
+		return JobView{}, err
 	}
 	s.misses++
 	j := s.newJobLocked(sc, canonical, key, reps, seed, now)
@@ -307,8 +338,9 @@ func (s *Service) lookupCacheLocked(key string) (json.RawMessage, bool) {
 
 // pruneHistoryLocked forgets the oldest terminal job records beyond the
 // history limit, bounding the service's memory over its lifetime. Queued,
-// running and coalesced-in-flight jobs are never evicted. Callers hold the
-// mutex.
+// running and coalesced-in-flight jobs are never evicted, and sweep cells
+// are excluded — their lifetime is their sweep's, bounded separately by
+// pruneSweepsLocked. Callers hold the mutex.
 func (s *Service) pruneHistoryLocked() {
 	// The terminal counter makes the common case O(1); the O(jobs)
 	// compaction walk is amortized by letting the history overshoot the
@@ -319,7 +351,8 @@ func (s *Service) pruneHistoryLocked() {
 	excess := s.terminal - s.historyLimit
 	keep := s.order[:0]
 	for _, id := range s.order {
-		if excess > 0 && s.jobs[id].state.Terminal() {
+		j := s.jobs[id]
+		if excess > 0 && j.sweep == nil && j.state.Terminal() {
 			delete(s.jobs, id)
 			s.terminal--
 			excess--
@@ -330,11 +363,25 @@ func (s *Service) pruneHistoryLocked() {
 	s.order = keep
 }
 
+// markTerminalLocked records a job's entry into a terminal state: plain jobs
+// feed the history accounting, sweep cells feed their sweep's settlement
+// tracking instead (cells are retained and pruned with the sweep, so they
+// never count against the plain-job history bound). Callers hold the mutex,
+// and call this exactly once per job, at its terminal transition.
+func (s *Service) markTerminalLocked(j *job) {
+	if j.sweep == nil {
+		s.terminal++
+	}
+	s.noteCellSettledLocked(j)
+}
+
 // newJobLocked allocates and registers a job record. Callers hold the mutex.
 func (s *Service) newJobLocked(sc engine.Scenario, canonical []byte, key string, reps int, seed uint64, now time.Time) *job {
 	s.nextID++
+	s.submitSeq++
 	j := &job{
 		id:        fmt.Sprintf("j%08d", s.nextID),
+		seq:       s.submitSeq,
 		scenario:  sc,
 		canonical: canonical,
 		key:       key,
@@ -412,6 +459,7 @@ func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc,
 			j.repsDone.Add(delta)
 			s.repsDone.Add(delta)
 		},
+		Compile: j.compile,
 	})
 	var summary []byte
 	if err == nil {
@@ -445,7 +493,7 @@ func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc,
 		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
-	s.terminal++
+	s.markTerminalLocked(j)
 	if !(j.state == StateCancelled && s.closed) {
 		// Shutdown cancellations are not settlements: a gracefully stopped
 		// daemon leaves the same ledger a crashed one would, and both resume
@@ -480,7 +528,7 @@ func (s *Service) settleFollowersLocked(leader *job) {
 			f.summary = leader.summary
 			f.errMsg = leader.errMsg
 			f.started, f.finished = now, now
-			s.terminal++
+			s.markTerminalLocked(f)
 			// Recovered followers carry their own ledger entries; settle them.
 			s.journalSettleLocked(f)
 		}
@@ -491,7 +539,7 @@ func (s *Service) settleFollowersLocked(leader *job) {
 				f.state = StateCancelled
 				f.errMsg = "cancelled: service shutting down"
 				f.finished = now
-				s.terminal++
+				s.markTerminalLocked(f)
 			}
 			return
 		}
@@ -501,9 +549,12 @@ func (s *Service) settleFollowersLocked(leader *job) {
 		for _, f := range next.followers {
 			f.leader = next
 		}
-		if !next.journaled {
+		if !next.journaled && next.sweep == nil {
 			// The promoted follower now owns the run; record it so a restart
 			// resumes it. Best effort — the submission was already accepted.
+			// Sweep cells are never journalled individually: their sweep's
+			// record re-plans them, and a duplicate submit record would
+			// re-adopt the cell twice.
 			if err := s.journalSubmitLocked(next); err != nil {
 				s.logf("service: journal promoted follower %s: %v", next.id, err)
 			}
@@ -546,7 +597,7 @@ func (s *Service) cancelJob(id string) (JobView, error) {
 		j.state = StateCancelled
 		j.errMsg = "cancelled before start"
 		j.finished = s.clock()
-		s.terminal++
+		s.markTerminalLocked(j)
 		s.journalSettleLocked(j)
 		s.settleFollowersLocked(j)
 		s.pruneHistoryLocked()
@@ -629,6 +680,21 @@ type Metrics struct {
 	// Durability carries the persistent-cache and crash-recovery counters
 	// when -cache-dir or -state-dir is configured; absent otherwise.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Sweeps carries the sweep-subsystem counters once a sweep has been
+	// submitted or recovered; absent before.
+	Sweeps *SweepStats `json:"sweeps,omitempty"`
+	// RateLimit carries the admission-limiter counters when -rate is
+	// configured; absent otherwise.
+	RateLimit *RateLimitStats `json:"rate_limit,omitempty"`
+}
+
+// RateLimitStats are the per-client admission limiter counters.
+type RateLimitStats struct {
+	// Rejected counts submissions refused with 429 over the daemon's
+	// lifetime.
+	Rejected int64 `json:"rejected"`
+	// Clients is the number of client buckets currently tracked.
+	Clients int `json:"clients"`
 }
 
 // DurabilityStats are the persistent-cache and crash-recovery counters.
@@ -706,6 +772,31 @@ func (s *Service) metrics() Metrics {
 	if cs, ok := s.backend.(clusterStatser); ok {
 		stats := cs.ClusterStats()
 		m.Cluster = &stats
+	}
+	if s.sweepsSubmitted > 0 || s.sweepsRecovered > 0 {
+		sw := &SweepStats{
+			Submitted: s.sweepsSubmitted,
+			Recovered: s.sweepsRecovered,
+		}
+		for _, id := range s.sweepOrder {
+			switch s.sweeps[id].state {
+			case StateDone:
+				sw.Done++
+			case StateFailed:
+				sw.Failed++
+			case StateCancelled:
+				sw.Cancelled++
+			default:
+				sw.Active++
+			}
+		}
+		m.Sweeps = sw
+	}
+	if s.limiter != nil {
+		m.RateLimit = &RateLimitStats{
+			Rejected: s.rateLimited,
+			Clients:  len(s.limiter.buckets),
+		}
 	}
 	if s.disk != nil || s.journal != nil {
 		d := &DurabilityStats{

@@ -1,0 +1,131 @@
+#!/bin/sh
+# service_load.sh — the rumord load harness behind `make bench-service`:
+# build and start the daemon, then measure the submission path under load
+# and record the result as a dated BENCH_SERVICE_<date>.json data point in
+# the repository root, the same committed-trajectory convention the engine
+# anchors use (see bench_to_json.sh).
+#
+# Two phases:
+#
+#   1. Submission latency: $SUBMITS (default 60) unique POST /v1/runs
+#      submissions in a tight sequential loop, per-request latency taken
+#      from curl's own transfer clock; the document records the p50 / p90 /
+#      p99 / max percentiles and the sequential submission throughput.
+#   2. Sweep end-to-end: one POST /v1/sweeps over a 24-cell deterministic
+#      grid, then a subscribe to its SSE event stream — the stream ends
+#      exactly when the sweep settles, so the stream's transfer time is the
+#      submit-to-done wall clock.
+#
+# Deliberately no load *concurrency*: percentiles from a sequential loop on
+# an otherwise idle daemon are reproducible enough to compare across
+# commits, which is what a committed trajectory needs.
+#
+# Usage: sh scripts/service_load.sh   (or: make bench-service)
+set -eu
+
+cd "$(dirname "$0")/.."
+ADDR=127.0.0.1:18084
+SUBMITS=${SUBMITS:-60}
+TMP="$(mktemp -d)"
+PID=
+trap '[ -z "$PID" ] || kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/rumord" ./cmd/rumord
+
+"$TMP/rumord" -addr "$ADDR" -budget 2 >"$TMP/rumord.log" 2>&1 &
+PID=$!
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "rumord did not become healthy; log:" >&2
+        cat "$TMP/rumord.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Phase 1: sequential submission latency. Every submission is a distinct
+# (scenario, seed) so none is a cache hit or coalesced — each exercises the
+# full admission path (parse, canonicalize, key, enqueue).
+: >"$TMP/lat.txt"
+i=1
+while [ "$i" -le "$SUBMITS" ]; do
+    curl -fsS -o /dev/null -w '%{time_total}\n' \
+        -X POST "http://$ADDR/v1/runs" -H 'Content-Type: application/json' \
+        -d "{\"scenario\":{\"network\":{\"family\":\"clique\",\"params\":{\"n\":64}}},\"reps\":4,\"seed\":$i}" \
+        >>"$TMP/lat.txt"
+    i=$((i + 1))
+done
+
+# Drain the queue before the sweep phase so its wall clock is not paying for
+# phase 1's backlog.
+i=0
+while :; do
+    metrics=$(curl -fsS "http://$ADDR/metrics")
+    queued=$(printf '%s' "$metrics" | sed -n 's/.*"queued":\([0-9]*\).*/\1/p')
+    running=$(printf '%s' "$metrics" | sed -n 's/.*"running":\([0-9]*\).*/\1/p')
+    [ "${queued:-0}" -eq 0 ] && [ "${running:-0}" -eq 0 ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "phase-1 jobs did not drain; metrics: $metrics" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Phase 2: one native sweep, timed to completion through its event stream.
+sweep_body='{"sweep":{"family":"clique","n":[64,96],"seeds":[101,102,103,104,105,106,107,108,109,110,111,112]},"reps":4}'
+sweep_submit=$(curl -fsS -o "$TMP/sweep.json" -w '%{time_total}' \
+    -X POST "http://$ADDR/v1/sweeps" -H 'Content-Type: application/json' \
+    -d "$sweep_body")
+sweep_id=$(sed -n 's/.*"id":"\(s[0-9]*\)".*/\1/p' "$TMP/sweep.json")
+if [ -z "$sweep_id" ]; then
+    echo "sweep submission returned no id: $(cat "$TMP/sweep.json")" >&2
+    exit 1
+fi
+sweep_wall=$(curl -fsSN -o /dev/null -w '%{time_total}' \
+    "http://$ADDR/v1/sweeps/$sweep_id/events")
+sweep_cells=$(sed -n 's/.*"total":\([0-9]*\).*/\1/p' "$TMP/sweep.json")
+
+state=$(curl -fsS "http://$ADDR/v1/sweeps/$sweep_id" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+if [ "$state" != "done" ]; then
+    echo "sweep settled '$state', want done" >&2
+    exit 1
+fi
+
+out="BENCH_SERVICE_$(date -u +%Y-%m-%d).json"
+i=2
+while [ -e "$out" ]; do
+    out="BENCH_SERVICE_$(date -u +%Y-%m-%d).$i.json"
+    i=$((i + 1))
+done
+
+sort -n "$TMP/lat.txt" | awk \
+    -v date="$(date -u +%Y-%m-%d)" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v goversion="$(go version | awk '{print $3}')" \
+    -v submits="$SUBMITS" \
+    -v sweep_submit="$sweep_submit" -v sweep_wall="$sweep_wall" \
+    -v sweep_cells="${sweep_cells:-0}" '
+    { lat[NR] = $1; sum += $1 }
+    END {
+        p50 = lat[int((NR - 1) * 0.50) + 1]
+        p90 = lat[int((NR - 1) * 0.90) + 1]
+        p99 = lat[int((NR - 1) * 0.99) + 1]
+        printf "{\n"
+        printf "  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n", date, commit, goversion
+        printf "  \"submit\": {\n"
+        printf "    \"count\": %d,\n", submits
+        printf "    \"p50_ms\": %.2f,\n    \"p90_ms\": %.2f,\n    \"p99_ms\": %.2f,\n    \"max_ms\": %.2f,\n", \
+            p50 * 1000, p90 * 1000, p99 * 1000, lat[NR] * 1000
+        printf "    \"sequential_per_sec\": %.1f\n  },\n", NR / sum
+        printf "  \"sweep\": {\n"
+        printf "    \"cells\": %d,\n    \"submit_ms\": %.2f,\n    \"wall_ms\": %.2f\n  }\n", \
+            sweep_cells, sweep_submit * 1000, sweep_wall * 1000
+        printf "}\n"
+    }' >"$out"
+
+cat "$out"
+echo "wrote $out"

@@ -1,0 +1,73 @@
+#!/bin/sh
+# sweep_smoke.sh — the CI guard for native sweep execution: the sweep path
+# must be a pure performance optimisation, invisible in the results.
+#
+# Two daemons, deliberately separate so the comparison cannot be satisfied
+# by the result cache:
+#
+#   1. daemon A receives the whole size grid as ONE native sweep
+#      (POST /v1/sweeps) through the example client;
+#   2. a FRESH daemon B receives the same grid as N independent standalone
+#      submissions (the client's -separate path, POST /v1/runs per cell).
+#
+# The aggregate summary tables (-raw: one summary line per cell, in grid
+# order) must be byte-identical. Any divergence — a shared network leaking
+# state, a cell RNG stream shifting, a summary field reordering — fails.
+set -eu
+
+cd "$(dirname "$0")/.."
+ADDR_SWEEP=127.0.0.1:18082
+ADDR_SEP=127.0.0.1:18083
+TMP="$(mktemp -d)"
+PID_A=
+PID_B=
+trap '[ -z "$PID_A" ] || kill "$PID_A" 2>/dev/null || true;
+      [ -z "$PID_B" ] || kill "$PID_B" 2>/dev/null || true;
+      rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/rumord" ./cmd/rumord
+go build -o "$TMP/client" ./examples/client
+
+wait_healthy() {
+    i=0
+    until curl -fsS "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "rumord on $1 did not become healthy; log:" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+GRID="-family clique -sizes 64,128,256 -reps 8 -seed 1"
+
+# Daemon A: the whole grid as one native sweep.
+"$TMP/rumord" -addr "$ADDR_SWEEP" -budget 4 >"$TMP/a.log" 2>&1 &
+PID_A=$!
+wait_healthy "$ADDR_SWEEP" "$TMP/a.log"
+# shellcheck disable=SC2086
+"$TMP/client" -addr "http://$ADDR_SWEEP" $GRID -raw >"$TMP/sweep.json"
+
+# Daemon B: fresh process, same grid as independent standalone runs. A fresh
+# daemon means every cell is computed, not replayed from A's cache.
+"$TMP/rumord" -addr "$ADDR_SEP" -budget 4 >"$TMP/b.log" 2>&1 &
+PID_B=$!
+wait_healthy "$ADDR_SEP" "$TMP/b.log"
+# shellcheck disable=SC2086
+"$TMP/client" -addr "http://$ADDR_SEP" $GRID -separate -raw >"$TMP/separate.json"
+
+if ! cmp -s "$TMP/sweep.json" "$TMP/separate.json"; then
+    echo "FAIL: native sweep aggregate differs from per-cell standalone runs" >&2
+    diff "$TMP/separate.json" "$TMP/sweep.json" >&2 || true
+    exit 1
+fi
+
+cells=$(wc -l <"$TMP/sweep.json" | tr -d ' ')
+if [ "$cells" != 3 ]; then
+    echo "FAIL: expected 3 cell summaries from the sweep, got $cells" >&2
+    exit 1
+fi
+
+echo "sweep smoke OK: $cells-cell native sweep byte-identical to standalone runs"
