@@ -11,13 +11,14 @@
 //	GET    /v1/runs                list jobs
 //	GET    /v1/runs/{id}           job status + summary when done
 //	DELETE /v1/runs/{id}           cancel a queued or running job
+//	GET    /v1/runs/{id}/trace     flight-recorder timeline of a run's phases
 //	POST   /v1/sweeps              submit one parameter grid as a native sweep
 //	GET    /v1/sweeps              list sweeps
 //	GET    /v1/sweeps/{id}         sweep status + per-cell aggregate table
 //	GET    /v1/sweeps/{id}/events  SSE stream of per-cell summaries
 //	DELETE /v1/sweeps/{id}         cancel a sweep's unfinished cells
 //	GET    /v1/scenarios/families  the network family registry
-//	GET    /healthz                liveness + build version
+//	GET    /healthz                liveness, uptime and per-subsystem readiness
 //	GET    /metrics                counters (JSON, or Prometheus text via Accept)
 //
 // The same binary is every role of a cluster. With -cluster the daemon
@@ -47,8 +48,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +59,7 @@ import (
 	"dynamicrumor/internal/buildinfo"
 	"dynamicrumor/internal/cluster"
 	"dynamicrumor/internal/faults"
+	"dynamicrumor/internal/obs"
 	"dynamicrumor/internal/service"
 )
 
@@ -100,6 +103,12 @@ func run(args []string) error {
 		"persistent result cache size bound in bytes; least-recently-used entries are evicted beyond it (0 means 256 MiB)")
 	chaos := fs.String("chaos", "",
 		`fault plan injected at the cluster HTTP boundary, e.g. "seed=7,drop=0.05,error=0.1,delay=30ms:0.2" (testing only; empty disables)`)
+	logFormat := fs.String("log-format", "text", `structured log encoding: "text" or "json"`)
+	logLevel := fs.String("log-level", "info", `minimum log severity: "debug", "info", "warn" or "error"`)
+	logRequests := fs.Bool("log-requests", false,
+		"log one structured line per HTTP request (method, path, status, bytes, latency, trace ID)")
+	debugAddr := fs.String("debug-addr", "",
+		"separate listen address for net/http/pprof profiling endpoints, e.g. localhost:6060 (empty disables)")
 	version := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,19 +128,30 @@ func run(args []string) error {
 	if *burst > 0 && *rate <= 0 {
 		return errors.New("-burst requires -rate")
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 	if *join != "" {
 		*workerMode = true
 	}
 	if *workerMode && *clusterMode {
 		return errors.New("-worker and -cluster are mutually exclusive")
 	}
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr, logger)
+	}
 	if *workerMode {
 		if *join == "" {
 			return errors.New("-worker requires -join <coordinator URL>")
 		}
-		return runWorker(*join, *name, *budget)
+		return runWorker(*join, *name, *budget, logger)
 	}
 
+	// One histogram registry spans the service and the coordinator, so a
+	// single /metrics scrape carries queue-wait, run, cache, HTTP and
+	// cluster lease latencies together.
+	reg := obs.NewRegistry()
 	cfg := service.Config{
 		Budget:        *budget,
 		QueueLimit:    *queueLimit,
@@ -144,7 +164,9 @@ func run(args []string) error {
 		CacheDir:      *cacheDir,
 		CacheMaxBytes: *cacheBytes,
 		StateDir:      *stateDir,
-		Logf:          log.Printf,
+		Logger:        logger,
+		Observe:       reg,
+		LogRequests:   *logRequests,
 	}
 	var coord *cluster.Coordinator
 	if *clusterMode {
@@ -154,7 +176,8 @@ func run(args []string) error {
 			PollInterval: *pollInterval,
 			ShardSize:    *shardSize,
 			StateDir:     *stateDir,
-			Logf:         log.Printf,
+			Logger:       logger,
+			Observe:      reg,
 		})
 		if err != nil {
 			return err
@@ -196,7 +219,7 @@ func run(args []string) error {
 		if coord != nil {
 			role = "cluster coordinator"
 		}
-		log.Printf("rumord %s: listening on %s (%s)", buildinfo.Version(), *addr, role)
+		logger.Info("rumord: listening", "version", buildinfo.Version(), "addr", *addr, "role", role)
 		errc <- server.ListenAndServe()
 	}()
 
@@ -210,7 +233,7 @@ func run(args []string) error {
 		}
 		return err
 	case sig := <-stop:
-		log.Printf("rumord: %s, shutting down", sig)
+		logger.Info("rumord: shutting down", "signal", sig.String())
 	}
 
 	// Stop accepting connections first, then cancel in-flight jobs; each job
@@ -218,7 +241,7 @@ func run(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("rumord: shutdown: %v", err)
+		logger.Warn("rumord: shutdown", "err", err)
 	}
 	svc.Close()
 	if coord != nil {
@@ -227,8 +250,26 @@ func run(args []string) error {
 	return nil
 }
 
+// startDebugServer serves the net/http/pprof profiling endpoints on their own
+// listener, kept off the service address so profiling access can be firewalled
+// separately (typically bound to localhost).
+func startDebugServer(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logger.Info("rumord: debug listener", "addr", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logger.Warn("rumord: debug listener failed", "addr", addr, "err", err)
+		}
+	}()
+}
+
 // runWorker joins a coordinator and executes leased ranges until terminated.
-func runWorker(join, name string, cpus int) error {
+func runWorker(join, name string, cpus int, logger *slog.Logger) error {
 	if name == "" {
 		name, _ = os.Hostname()
 	}
@@ -236,14 +277,14 @@ func runWorker(join, name string, cpus int) error {
 		Coordinator: join,
 		Name:        name,
 		CPUs:        cpus,
-		Logf:        log.Printf,
+		Logger:      logger,
 	})
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	log.Printf("rumord %s: worker %q joining %s", buildinfo.Version(), name, join)
+	logger.Info("rumord: worker joining", "version", buildinfo.Version(), "worker", name, "coordinator", join)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
-	log.Printf("rumord: worker shut down")
+	logger.Info("rumord: worker shut down")
 	return nil
 }

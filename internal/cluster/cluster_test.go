@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,8 +14,23 @@ import (
 	"time"
 
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/obs"
 	"dynamicrumor/internal/service"
 )
+
+// testLogger routes structured coordinator logs through the test log so
+// failures carry the coordinator's own account of what happened.
+func testLogger(t *testing.T) *slog.Logger {
+	t.Helper()
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // testRun builds a BackendRun for a clique scenario.
 func testRun(t *testing.T, n, reps int, seed uint64) service.BackendRun {
@@ -138,7 +154,7 @@ func TestClusterMatchesLocal(t *testing.T) {
 // worker's late upload must be discarded as stale.
 func TestClusterLeaseExpiryReassignment(t *testing.T) {
 	const ttl = 300 * time.Millisecond
-	coord := newTestCoordinator(t, Config{LeaseTTL: ttl, PollInterval: 5 * time.Millisecond, ShardSize: 25, Logf: t.Logf})
+	coord := newTestCoordinator(t, Config{LeaseTTL: ttl, PollInterval: 5 * time.Millisecond, ShardSize: 25, Logger: testLogger(t)})
 	defer coord.Close()
 	mux := http.NewServeMux()
 	coord.Mount(mux)
@@ -421,5 +437,66 @@ func TestWorkerPipelinesLeaseClaims(t *testing.T) {
 	defer mu.Unlock()
 	if maxHeld > 2 {
 		t.Errorf("worker held %d leases at once, want at most 2", maxHeld)
+	}
+}
+
+// TestClusterTraceStitching: a distributed run's flight-recorder timeline
+// carries both coordinator-side lease spans and the workers' own execute
+// spans, stitched under the one trace ID minted at submission — one lease
+// and one worker execute span per shard, plus a synthesized upload span.
+func TestClusterTraceStitching(t *testing.T) {
+	coord := newTestCoordinator(t, Config{LeaseTTL: 5 * time.Second, PollInterval: 5 * time.Millisecond, ShardSize: 7})
+	defer coord.Close()
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	stop := startWorkers(t, ts.URL, 2)
+	defer stop()
+
+	rec := obs.NewRecorder(0)
+	run := testRun(t, 48, 100, 42)
+	run.Trace = rec.Start("tr-stitch", "jstitch")
+	if _, err := coord.Run(context.Background(), run); err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+
+	view := run.Trace.View()
+	if view.Trace != "tr-stitch" {
+		t.Fatalf("trace ID = %q, want tr-stitch", view.Trace)
+	}
+	const shards = 15 // ceil(100/7)
+	counts := make(map[string]int)
+	for _, sp := range view.Spans {
+		counts[sp.Name]++
+		switch sp.Name {
+		case "lease", "execute":
+			if sp.Worker == "" {
+				t.Errorf("%s span lacks a worker ID: %+v", sp.Name, sp)
+			}
+		}
+		start, err0 := time.Parse(time.RFC3339Nano, sp.Start)
+		end, err1 := time.Parse(time.RFC3339Nano, sp.End)
+		if err0 != nil || err1 != nil {
+			t.Errorf("span %s has unparseable timestamps: %+v", sp.Name, sp)
+		} else if end.Before(start) {
+			t.Errorf("span %s ends before it starts: %+v", sp.Name, sp)
+		}
+	}
+	if counts["lease"] != shards {
+		t.Errorf("lease spans = %d, want %d", counts["lease"], shards)
+	}
+	if counts["execute"] != shards {
+		t.Errorf("worker execute spans = %d, want %d", counts["execute"], shards)
+	}
+	if counts["upload"] == 0 {
+		t.Error("no synthesized upload spans")
+	}
+	// The range detail lets a timeline reader attribute shards: every
+	// execute span names its [start,end) repetition range.
+	for _, sp := range view.Spans {
+		if sp.Name == "execute" && !strings.HasPrefix(sp.Detail, "[") {
+			t.Errorf("execute span detail %q does not name its range", sp.Detail)
+		}
 	}
 }

@@ -5,11 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"dynamicrumor/internal/obs"
 	"dynamicrumor/internal/service"
 	"dynamicrumor/internal/stats"
 	"dynamicrumor/internal/store"
@@ -35,9 +37,15 @@ type Config struct {
 	// re-adopt its in-flight runs on restart, replaying completed shards
 	// through the exact merger and re-leasing only the unfinished ranges.
 	StateDir string
-	// Logf, when non-nil, receives coordinator lifecycle events (worker
-	// registration, lease reclaim, run settlement, recovery).
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives coordinator lifecycle events (worker
+	// registration, lease reclaim, run settlement, recovery) as structured
+	// log lines; nil discards them.
+	Logger *slog.Logger
+	// Observe, when non-nil, is the shared latency-histogram registry the
+	// lease round-trip histogram records into; nil selects a private one.
+	// cmd/rumord hands the coordinator the service's registry so the
+	// histogram appears in the same /metrics document.
+	Observe *obs.Registry
 }
 
 // Coordinator shards ensemble runs across registered workers and merges
@@ -48,7 +56,8 @@ type Coordinator struct {
 	ttl       time.Duration
 	poll      time.Duration
 	shardSize int
-	logf      func(format string, args ...any)
+	log       *slog.Logger
+	histLease *obs.Histogram
 
 	mu         sync.Mutex
 	workers    map[string]*workerState
@@ -96,6 +105,10 @@ type clusterRun struct {
 	seed      uint64
 	reps      int
 	observe   func(delta int64)
+	// trace is the service job's flight-recorder timeline (nil-safe); the
+	// coordinator appends per-shard lease/upload spans and workers' execute
+	// spans to it as uploads settle.
+	trace *obs.Trace
 	// records retains the run's journal frames (run start + settled shards)
 	// so compaction can rewrite them; cleared at run end.
 	records []store.Record
@@ -116,6 +129,7 @@ type lease struct {
 	workerID string
 	run      *clusterRun
 	shard    shard
+	granted  time.Time
 	expires  time.Time
 }
 
@@ -132,7 +146,7 @@ func New(cfg Config) (*Coordinator, error) {
 		ttl:       cfg.LeaseTTL,
 		poll:      cfg.PollInterval,
 		shardSize: cfg.ShardSize,
-		logf:      cfg.Logf,
+		log:       cfg.Logger,
 		workers:   make(map[string]*workerState),
 		runs:      make(map[string]*clusterRun),
 		leases:    make(map[string]*lease),
@@ -146,9 +160,14 @@ func New(cfg Config) (*Coordinator, error) {
 	if c.poll <= 0 {
 		c.poll = 500 * time.Millisecond
 	}
-	if c.logf == nil {
-		c.logf = func(string, ...any) {}
+	if c.log == nil {
+		c.log = obs.NopLogger()
 	}
+	reg := cfg.Observe
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c.histLease = reg.Histogram("lease_roundtrip", "Seconds from cluster lease grant to its settled result upload.")
 	if cfg.StateDir != "" {
 		if err := c.openJournal(filepath.Join(cfg.StateDir, "cluster.journal")); err != nil {
 			return nil, err
@@ -174,7 +193,7 @@ func (c *Coordinator) Close() {
 	defer c.mu.Unlock()
 	if c.journal != nil {
 		if err := c.journal.Close(); err != nil {
-			c.logf("cluster: journal close: %v", err)
+			c.log.Error("cluster: journal close failed", "err", err)
 		}
 	}
 }
@@ -218,6 +237,7 @@ func (c *Coordinator) Run(ctx context.Context, run service.BackendRun) (service.
 		seed:      run.Seed,
 		reps:      run.Reps,
 		observe:   run.Observe,
+		trace:     run.Trace,
 		stream:    service.NewSummaryStream(),
 		done:      make(chan struct{}),
 	}
@@ -245,14 +265,14 @@ func (c *Coordinator) Run(ctx context.Context, run service.BackendRun) (service.
 		if err := c.readoptLocked(r, rec, size); err != nil {
 			// Inconsistent journal state is discarded — re-executing from
 			// scratch is always correct, just slower.
-			c.logf("cluster: run %s: journalled state unusable, running from scratch: %v", r.id, err)
+			c.log.Warn("cluster: journalled state unusable, running from scratch", "run", r.id, "err", err)
 			r.stream = service.NewSummaryStream()
 			r.merger = stats.NewMerger(r.stream)
 			r.completed = 0
 			r.records = nil
 			r.pending = appendShardRanges(nil, 0, run.Reps, size)
 			if cerr := c.compactJournalLocked(); cerr != nil {
-				c.logf("cluster: journal compaction: %v", cerr)
+				c.log.Warn("cluster: journal compaction failed", "err", cerr)
 			}
 			c.journalRunStartLocked(r, run.Canonical)
 		} else {
@@ -268,13 +288,13 @@ func (c *Coordinator) Run(ctx context.Context, run service.BackendRun) (service.
 		c.removeRunLocked(r)
 		c.journalRunEndLocked(r)
 		close(r.done)
-		c.logf("cluster: run %s: complete from journal alone (%d reps)", r.id, r.reps)
+		c.log.Info("cluster: run complete from journal alone", "run", r.id, "trace", r.trace.ID(), "reps", r.reps)
 	}
 	c.mu.Unlock()
 	if replayed > 0 && run.Observe != nil {
 		run.Observe(replayed)
 	}
-	c.logf("cluster: run %s: %d reps in %d shards of <=%d", r.id, run.Reps, shards, size)
+	c.log.Info("cluster: run sharded", "run", r.id, "trace", r.trace.ID(), "reps", run.Reps, "shards", shards, "shard_size", size)
 
 	select {
 	case <-ctx.Done():
@@ -298,7 +318,7 @@ func (c *Coordinator) abandonRun(r *clusterRun) {
 	}
 	r.finished = true
 	c.removeRunLocked(r)
-	c.logf("cluster: run %s: abandoned", r.id)
+	c.log.Info("cluster: run abandoned", "run", r.id, "trace", r.trace.ID())
 }
 
 // removeRunLocked unregisters a settled run and revokes its leases.
@@ -333,7 +353,7 @@ func (c *Coordinator) failRunLocked(r *clusterRun, err error) {
 	c.removeRunLocked(r)
 	c.journalRunEndLocked(r)
 	close(r.done)
-	c.logf("cluster: run %s: failed: %v", r.id, err)
+	c.log.Warn("cluster: run failed", "run", r.id, "trace", r.trace.ID(), "err", err)
 }
 
 // register adds a worker to the registry.
@@ -355,7 +375,7 @@ func (c *Coordinator) register(req RegisterRequest) RegisterResponse {
 		}
 	}
 	c.workers[w.id] = w
-	c.logf("cluster: worker %s registered (name %q, cpus %d, families %d)", w.id, req.Name, req.CPUs, len(req.Families))
+	c.log.Info("cluster: worker registered", "worker", w.id, "name", req.Name, "cpus", req.CPUs, "families", len(req.Families))
 	return RegisterResponse{
 		WorkerID:       w.id,
 		LeaseTTLMillis: c.ttl.Milliseconds(),
@@ -392,6 +412,7 @@ func (c *Coordinator) grantLease(workerID string) (*Lease, error) {
 			workerID: workerID,
 			run:      r,
 			shard:    sh,
+			granted:  now,
 			expires:  now.Add(c.ttl),
 		}
 		c.leases[l.id] = l
@@ -403,6 +424,7 @@ func (c *Coordinator) grantLease(workerID string) (*Lease, error) {
 			Seed:     r.seed,
 			Start:    sh.start,
 			Count:    sh.count,
+			Trace:    r.trace.ID(),
 		}, nil
 	}
 	return nil, nil
@@ -458,6 +480,7 @@ func (c *Coordinator) result(req ResultRequest) (ResultResponse, error) {
 		// Journal before acknowledging: once the worker is told its upload
 		// settled, the coordinator must be able to replay it after a crash.
 		c.journalShardLocked(r, l.shard, req)
+		c.recordShardSpansLocked(r, l, req)
 		if r.observe != nil {
 			delta := int64(l.shard.count)
 			observe := r.observe
@@ -468,7 +491,7 @@ func (c *Coordinator) result(req ResultRequest) (ResultResponse, error) {
 			c.removeRunLocked(r)
 			c.journalRunEndLocked(r)
 			close(r.done)
-			c.logf("cluster: run %s: complete (%d reps)", r.id, r.reps)
+			c.log.Info("cluster: run complete", "run", r.id, "trace", r.trace.ID(), "reps", r.reps)
 		}
 	}
 	c.mu.Unlock()
@@ -476,6 +499,51 @@ func (c *Coordinator) result(req ResultRequest) (ResultResponse, error) {
 		notify()
 	}
 	return ResultResponse{}, nil
+}
+
+// recordShardSpansLocked settles a shard's observability: the lease
+// round-trip histogram and the run timeline get the lease span (grant →
+// settled upload, on the coordinator's clock), the worker's own spans from
+// the upload (its clock — skew shifts them within the timeline but never
+// results), and a synthesized upload span from the worker's last span end to
+// settlement. Callers hold the mutex.
+func (c *Coordinator) recordShardSpansLocked(r *clusterRun, l *lease, req ResultRequest) {
+	now := time.Now()
+	c.histLease.Observe(now.Sub(l.granted))
+	if r.trace == nil {
+		return
+	}
+	rng := fmt.Sprintf("[%d,%d)", l.shard.start, l.shard.start+l.shard.count)
+	r.trace.Add(obs.Span{
+		Name:   "lease",
+		Worker: l.workerID,
+		Detail: rng,
+		Start:  l.granted,
+		End:    now,
+	})
+	var lastEnd time.Time
+	for _, sp := range req.Spans {
+		end := time.Unix(0, sp.EndUnixNano)
+		if end.After(lastEnd) {
+			lastEnd = end
+		}
+		r.trace.Add(obs.Span{
+			Name:   sp.Name,
+			Worker: sp.Worker,
+			Detail: sp.Detail,
+			Start:  time.Unix(0, sp.StartUnixNano),
+			End:    end,
+		})
+	}
+	if !lastEnd.IsZero() && lastEnd.Before(now) {
+		r.trace.Add(obs.Span{
+			Name:   "upload",
+			Worker: l.workerID,
+			Detail: rng,
+			Start:  lastEnd,
+			End:    now,
+		})
+	}
 }
 
 // settleUploadLocked validates one upload and folds it into the run's
@@ -547,15 +615,16 @@ func (c *Coordinator) sweepOnce(now time.Time) {
 		l.run.outstanding--
 		c.requeueShardLocked(l.run, l.shard)
 		c.reassigned++
-		c.logf("cluster: lease %s expired on worker %s; range [%d,%d) of run %s returned to pool",
-			id, l.workerID, l.shard.start, l.shard.start+l.shard.count, l.run.id)
+		c.log.Warn("cluster: lease expired; range returned to pool",
+			"lease", id, "worker", l.workerID, "run", l.run.id, "trace", l.run.trace.ID(),
+			"start", l.shard.start, "end", l.shard.start+l.shard.count)
 	}
 	for id, w := range c.workers {
 		if now.Sub(w.lastSeen) <= c.ttl {
 			continue
 		}
 		delete(c.workers, id)
-		c.logf("cluster: worker %s (name %q) presumed dead after %v silence", id, w.name, c.ttl)
+		c.log.Warn("cluster: worker presumed dead", "worker", id, "name", w.name, "silence", c.ttl)
 	}
 }
 

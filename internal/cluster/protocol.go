@@ -55,6 +55,10 @@ type Lease struct {
 	// Start and Count delimit the repetition range [Start, Start+Count).
 	Start int `json:"start"`
 	Count int `json:"count"`
+	// Trace is the run's flight-recorder trace ID. The worker stamps its
+	// result upload with it (the X-Trace-Id header and the spans below), so
+	// per-shard worker timing stitches into the coordinator-side timeline.
+	Trace string `json:"trace,omitempty"`
 }
 
 // LeaseResponse carries the granted lease, or null when no work is pending
@@ -92,6 +96,22 @@ type ResultRequest struct {
 	Completed int       `json:"completed"`
 	Stream    []byte    `json:"stream,omitempty"`
 	Error     string    `json:"error,omitempty"`
+	// Spans carries the worker-side timing of the range (its execute span,
+	// measured on the worker's own clock) for the run's flight-recorder
+	// timeline. Purely observational: the coordinator never derives merge or
+	// settlement decisions from them.
+	Spans []TraceSpan `json:"spans,omitempty"`
+}
+
+// TraceSpan is one flight-recorder span on the wire. Timestamps travel as
+// Unix nanoseconds of the originating node's clock; cross-node skew shifts a
+// worker span within the timeline but never affects results.
+type TraceSpan struct {
+	Name          string `json:"name"`
+	Worker        string `json:"worker,omitempty"`
+	Detail        string `json:"detail,omitempty"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	EndUnixNano   int64  `json:"end_unix_nano"`
 }
 
 // ResultResponse acknowledges an upload. Stale reports that the lease had

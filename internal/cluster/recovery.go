@@ -134,7 +134,7 @@ func (c *Coordinator) openJournal(path string) error {
 		case crRunStart:
 			var rs runStartRecord
 			if err := json.Unmarshal(rec.Payload, &rs); err != nil {
-				c.logf("cluster: recovery: unreadable run start record skipped: %v", err)
+				c.log.Warn("cluster: recovery: unreadable run start record skipped", "err", err)
 				return nil
 			}
 			if _, ok := c.recovered[rs.Key]; !ok {
@@ -144,7 +144,7 @@ func (c *Coordinator) openJournal(path string) error {
 		case crShardDone:
 			key, sh, err := decodeShardRecord(rec.Payload)
 			if err != nil {
-				c.logf("cluster: recovery: shard record skipped (range will be re-executed): %v", err)
+				c.log.Warn("cluster: recovery: shard record skipped; range will be re-executed", "err", err)
 				return nil
 			}
 			r, ok := c.recovered[key]
@@ -172,7 +172,7 @@ func (c *Coordinator) openJournal(path string) error {
 	c.journal = j
 	for _, key := range c.recoveredOrder {
 		r := c.recovered[key]
-		c.logf("cluster: recovery: run key %s: %d reps, %d settled shards journalled", key[:12], r.start.Reps, len(r.shards))
+		c.log.Info("cluster: recovery: journalled run found", "key", key[:12], "reps", r.start.Reps, "shards", len(r.shards))
 	}
 	// Startup compaction drops ended runs' records immediately.
 	return c.compactJournalLocked()
@@ -211,11 +211,11 @@ func (c *Coordinator) RetainRecovered(keys []string) {
 		delete(c.recovered, key)
 		c.dropRecoveredOrder(key)
 		pruned = true
-		c.logf("cluster: recovery: run key %s no longer owned by the service, dropped", key[:12])
+		c.log.Info("cluster: recovery: run key no longer owned by the service, dropped", "key", key[:12])
 	}
 	if pruned {
 		if err := c.compactJournalLocked(); err != nil {
-			c.logf("cluster: journal compaction: %v", err)
+			c.log.Warn("cluster: journal compaction failed", "err", err)
 		}
 	}
 }
@@ -237,12 +237,12 @@ func (c *Coordinator) journalRunStartLocked(r *clusterRun, canonical []byte) {
 	}
 	payload, err := json.Marshal(runStartRecord{Key: r.key, Canonical: canonical, Seed: r.seed, Reps: r.reps})
 	if err != nil {
-		c.logf("cluster: journal run start: %v", err)
+		c.log.Warn("cluster: journal run start failed", "run", r.id, "err", err)
 		return
 	}
 	rec := store.Record{Type: crRunStart, Payload: payload}
 	if err := c.journal.Append(rec); err != nil {
-		c.logf("cluster: journal run start: %v", err)
+		c.log.Warn("cluster: journal run start failed", "run", r.id, "err", err)
 		return
 	}
 	r.records = append(r.records, rec)
@@ -256,7 +256,7 @@ func (c *Coordinator) journalShardLocked(r *clusterRun, sh shard, req ResultRequ
 	}
 	rec := store.Record{Type: crShardDone, Payload: encodeShardRecord(r.key, sh.start, req.Completed, req.Values, req.Stream)}
 	if err := c.journal.Append(rec); err != nil {
-		c.logf("cluster: journal shard [%d,%d): %v", sh.start, sh.start+sh.count, err)
+		c.log.Warn("cluster: journal shard failed", "run", r.id, "start", sh.start, "end", sh.start+sh.count, "err", err)
 		return
 	}
 	r.records = append(r.records, rec)
@@ -271,12 +271,12 @@ func (c *Coordinator) journalRunEndLocked(r *clusterRun) {
 	}
 	r.records = nil
 	if err := c.journal.Append(store.Record{Type: crRunEnd, Payload: []byte(r.key)}); err != nil {
-		c.logf("cluster: journal run end: %v", err)
+		c.log.Warn("cluster: journal run end failed", "run", r.id, "err", err)
 		return
 	}
 	if c.journal.Size() > clusterCompactBytes {
 		if err := c.compactJournalLocked(); err != nil {
-			c.logf("cluster: journal compaction: %v", err)
+			c.log.Warn("cluster: journal compaction failed", "err", err)
 		}
 	}
 }
@@ -343,7 +343,7 @@ func (c *Coordinator) readoptLocked(r *clusterRun, rec *recoveredRun, size int) 
 	r.pending = appendShardRanges(pending, next, r.reps-next, size)
 	r.records = rec.records
 	c.runsReadopted++
-	c.logf("cluster: run %s: re-adopted key %s (%d shards replayed, %d reps already merged)",
-		r.id, r.key[:12], len(shards), r.merger.Next())
+	c.log.Info("cluster: run re-adopted", "run", r.id, "trace", r.trace.ID(), "key", r.key[:12],
+		"shards_replayed", len(shards), "reps_merged", r.merger.Next())
 	return nil
 }

@@ -28,7 +28,7 @@ func recoveryConfig(t *testing.T, stateDir string) Config {
 		PollInterval: 5 * time.Millisecond,
 		ShardSize:    10,
 		StateDir:     stateDir,
-		Logf:         t.Logf,
+		Logger:       testLogger(t),
 	}
 }
 

@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/obs"
 	"dynamicrumor/internal/retry"
 	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/service"
@@ -32,8 +34,9 @@ type WorkerConfig struct {
 	Families []string
 	// Client overrides the HTTP client (nil selects one with a 30s timeout).
 	Client *http.Client
-	// Logf, when non-nil, receives worker lifecycle events.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives worker lifecycle events as structured
+	// log lines; nil discards them.
+	Logger *slog.Logger
 }
 
 // Worker executes leased repetition ranges for a coordinator. Create with
@@ -45,7 +48,7 @@ type Worker struct {
 	cpus     int
 	families []string
 	client   *http.Client
-	logf     func(format string, args ...any)
+	log      *slog.Logger
 
 	mu   sync.Mutex
 	id   string
@@ -62,14 +65,14 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cpus:     runner.Parallelism(cfg.CPUs),
 		families: cfg.Families,
 		client:   cfg.Client,
-		logf:     cfg.Logf,
+		log:      cfg.Logger,
 		held:     make(map[string]context.CancelFunc),
 	}
 	if w.client == nil {
 		w.client = &http.Client{Timeout: 30 * time.Second}
 	}
-	if w.logf == nil {
-		w.logf = func(string, ...any) {}
+	if w.log == nil {
+		w.log = obs.NopLogger()
 	}
 	return w
 }
@@ -135,7 +138,7 @@ func (w *Worker) Run(ctx context.Context) error {
 					return ctx.Err()
 				}
 				failures++
-				w.logf("worker: lease request failed: %v", err)
+				w.log.Warn("worker: lease request failed", "err", err)
 				if !retry.Sleep(ctx, leaseRetry.Delay(failures-1)) {
 					return ctx.Err()
 				}
@@ -211,7 +214,7 @@ func (w *Worker) register(ctx context.Context) error {
 		}, &resp)
 		if err != nil {
 			if ctx.Err() == nil {
-				w.logf("worker: register failed: %v", err)
+				w.log.Warn("worker: register failed", "err", err)
 			}
 			return err
 		}
@@ -220,7 +223,7 @@ func (w *Worker) register(ctx context.Context) error {
 		w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
 		w.poll = time.Duration(resp.PollMillis) * time.Millisecond
 		w.mu.Unlock()
-		w.logf("worker: registered as %s (lease ttl %dms)", resp.WorkerID, resp.LeaseTTLMillis)
+		w.log.Info("worker: registered", "worker", resp.WorkerID, "lease_ttl_ms", resp.LeaseTTLMillis)
 		return nil
 	})
 	if err != nil && ctx.Err() != nil {
@@ -250,7 +253,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		err := w.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{WorkerID: id, LeaseIDs: leaseIDs}, &resp)
 		if err != nil {
 			if ctx.Err() == nil {
-				w.logf("worker: heartbeat failed: %v", err)
+				w.log.Warn("worker: heartbeat failed", "err", err)
 			}
 			continue
 		}
@@ -269,12 +272,14 @@ func (w *Worker) execute(ctx context.Context, hl *heldLease) {
 	defer w.release(hl)
 
 	result := ResultRequest{LeaseID: lease.ID}
+	e0 := time.Now()
 	values, completed, err := w.executeRange(leaseCtx, lease)
+	e1 := time.Now()
 	switch {
 	case err != nil && leaseCtx.Err() != nil && ctx.Err() == nil:
 		// The lease was abandoned (coordinator reported it expired): the
 		// range is someone else's now; uploading would only be discarded.
-		w.logf("worker: lease %s abandoned mid-range", lease.ID)
+		w.log.Info("worker: lease abandoned mid-range", "lease", lease.ID, "trace", lease.Trace)
 		return
 	case err != nil && ctx.Err() != nil:
 		return
@@ -294,7 +299,18 @@ func (w *Worker) execute(ctx context.Context, hl *heldLease) {
 			result.Stream = blob
 		}
 	}
-	w.upload(ctx, result)
+	if lease.Trace != "" {
+		// Worker-clock timing of the range for the run's flight-recorder
+		// timeline; skew shifts the span, never the merged result.
+		result.Spans = []TraceSpan{{
+			Name:          "execute",
+			Worker:        w.workerID(),
+			Detail:        fmt.Sprintf("[%d,%d)", lease.Start, lease.Start+lease.Count),
+			StartUnixNano: e0.UnixNano(),
+			EndUnixNano:   e1.UnixNano(),
+		}}
+	}
+	w.upload(ctx, result, lease.Trace)
 }
 
 // executeRange runs the lease's repetition range, collecting the raw
@@ -323,30 +339,30 @@ func (w *Worker) executeRange(ctx context.Context, lease *Lease) ([]float64, int
 // upload posts a result with jittered, bounded retries; a stale
 // acknowledgement or a lapsed registration permanently drops the result —
 // the coordinator has already rearranged the work.
-func (w *Worker) upload(ctx context.Context, result ResultRequest) {
+func (w *Worker) upload(ctx context.Context, result ResultRequest, trace string) {
 	policy := retry.Policy{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Attempts: 4, PerAttempt: 15 * time.Second}
 	err := policy.Do(ctx, func(ctx context.Context) error {
 		result.WorkerID = w.workerID()
 		var resp ResultResponse
-		err := w.post(ctx, "/v1/cluster/result", result, &resp)
+		err := w.postTraced(ctx, "/v1/cluster/result", result, &resp, trace)
 		switch {
 		case errors.Is(err, errStaleWorker):
-			w.logf("worker: registration lapsed; dropping lease %s result", result.LeaseID)
+			w.log.Warn("worker: registration lapsed; dropping lease result", "lease", result.LeaseID)
 			return retry.Permanent(err)
 		case err != nil:
 			if ctx.Err() == nil {
-				w.logf("worker: upload of lease %s failed: %v", result.LeaseID, err)
+				w.log.Warn("worker: lease upload failed", "lease", result.LeaseID, "err", err)
 			}
 			return err
 		case resp.Stale:
-			w.logf("worker: lease %s result was stale", result.LeaseID)
+			w.log.Info("worker: lease result was stale", "lease", result.LeaseID)
 			return nil
 		default:
 			return nil
 		}
 	})
 	if err != nil && ctx.Err() == nil && !errors.Is(err, errStaleWorker) {
-		w.logf("worker: giving up on lease %s result: %v", result.LeaseID, err)
+		w.log.Warn("worker: giving up on lease result", "lease", result.LeaseID, "err", err)
 	}
 }
 
@@ -365,7 +381,7 @@ func (w *Worker) abandon(leaseID string) {
 	cancel, ok := w.held[leaseID]
 	w.mu.Unlock()
 	if ok {
-		w.logf("worker: abandoning expired lease %s", leaseID)
+		w.log.Info("worker: abandoning expired lease", "lease", leaseID)
 		cancel()
 	}
 }
@@ -404,6 +420,12 @@ func (w *Worker) pollInterval() time.Duration {
 
 // post sends one protocol request and decodes the response into out.
 func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	return w.postTraced(ctx, path, in, out, "")
+}
+
+// postTraced is post with an optional X-Trace-Id header, so result uploads
+// announce the run timeline they belong to.
+func (w *Worker) postTraced(ctx context.Context, path string, in, out any, trace string) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -413,6 +435,9 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return err

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// TraceHeader carries a run's trace ID over HTTP: the service sets it on run
+// responses, workers set it on result uploads, and the access log records it
+// — so one trace ID threads client → service → coordinator → worker lines.
+const TraceHeader = "X-Trace-Id"
+
+// AccessLog is the HTTP middleware: every request's latency feeds Latency
+// (when non-nil), and every request emits one structured line through Logger
+// (when non-nil — the -log-requests gate leaves it nil when off, so the
+// histogram keeps recording even with request logging disabled).
+type AccessLog struct {
+	Logger  *slog.Logger
+	Latency *Histogram
+}
+
+// Wrap instruments a handler.
+func (a AccessLog) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		lw := &loggingWriter{ResponseWriter: w}
+		next.ServeHTTP(lw, r)
+		dur := time.Since(start)
+		a.Latency.Observe(dur)
+		if a.Logger == nil {
+			return
+		}
+		status := lw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		// The trace attribution prefers the response header (the service
+		// stamps run endpoints with the job's trace) and falls back to the
+		// request header (workers stamp uploads with the lease's trace).
+		trace := lw.Header().Get(TraceHeader)
+		if trace == "" {
+			trace = r.Header.Get(TraceHeader)
+		}
+		a.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", lw.bytes),
+			slog.Duration("duration", dur),
+			slog.String("trace", trace),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+// loggingWriter captures status and byte count. It implements http.Flusher
+// by delegation — the SSE sweep-events handler type-asserts the writer — and
+// Unwrap for http.ResponseController users.
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *loggingWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *loggingWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *loggingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *loggingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

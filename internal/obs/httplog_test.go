@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAccessLogJSONRoundTrip pins the access-log line shape: one request
+// through the middleware with a JSON logger must produce a line that decodes
+// back into the documented fields.
+func TestAccessLogJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := NewHistogram("http_request", "")
+	h := AccessLog{Logger: logger, Latency: hist}.Wrap(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set(TraceHeader, "tr00000042")
+			w.WriteHeader(http.StatusAccepted)
+			io.WriteString(w, `{"ok":true}`)
+		}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs", strings.NewReader("{}"))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+
+	if rw.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", rw.Code)
+	}
+	var line struct {
+		Level    string  `json:"level"`
+		Msg      string  `json:"msg"`
+		Method   string  `json:"method"`
+		Path     string  `json:"path"`
+		Status   int     `json:"status"`
+		Bytes    int64   `json:"bytes"`
+		Duration float64 `json:"duration"`
+		Trace    string  `json:"trace"`
+		Remote   string  `json:"remote"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("access log line does not round-trip as JSON: %v\nline: %s", err, buf.String())
+	}
+	if line.Msg != "http request" || line.Level != "INFO" {
+		t.Errorf("msg/level = %q/%q", line.Msg, line.Level)
+	}
+	if line.Method != "POST" || line.Path != "/v1/runs" {
+		t.Errorf("method/path = %q/%q", line.Method, line.Path)
+	}
+	if line.Status != http.StatusAccepted {
+		t.Errorf("status = %d, want 202", line.Status)
+	}
+	if line.Bytes != int64(len(`{"ok":true}`)) {
+		t.Errorf("bytes = %d, want %d", line.Bytes, len(`{"ok":true}`))
+	}
+	if line.Trace != "tr00000042" {
+		t.Errorf("trace = %q, want tr00000042", line.Trace)
+	}
+	if line.Remote == "" {
+		t.Error("remote is empty")
+	}
+	if got := hist.Snapshot().Total(); got != 1 {
+		t.Errorf("latency observations = %d, want 1", got)
+	}
+}
+
+// TestAccessLogWithoutLoggerStillObserves pins the -log-requests gating: a
+// nil logger silences lines but the latency histogram keeps recording.
+func TestAccessLogWithoutLoggerStillObserves(t *testing.T) {
+	hist := NewHistogram("http_request", "")
+	h := AccessLog{Latency: hist}.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if got := hist.Snapshot().Total(); got != 1 {
+		t.Errorf("latency observations = %d, want 1", got)
+	}
+}
+
+// TestAccessLogRequestTraceFallback: with no response trace header, the
+// request's (a worker upload) attributes the line.
+func TestAccessLogRequestTraceFallback(t *testing.T) {
+	var buf bytes.Buffer
+	logger, _ := NewLogger(&buf, "json", "info")
+	h := AccessLog{Logger: logger}.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/cluster/result", nil)
+	req.Header.Set(TraceHeader, "tr00000007")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if !strings.Contains(buf.String(), `"trace":"tr00000007"`) {
+		t.Errorf("request-header trace not logged: %s", buf.String())
+	}
+}
+
+// TestAccessLogPreservesFlusher: the SSE handler type-asserts http.Flusher
+// on the wrapped writer.
+func TestAccessLogPreservesFlusher(t *testing.T) {
+	flushed := false
+	h := AccessLog{}.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("wrapped writer lost http.Flusher")
+		}
+		f.Flush()
+		flushed = true
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/sweeps/s1/events", nil))
+	if !flushed {
+		t.Error("handler did not run")
+	}
+}
+
+func TestNewLoggerValidation(t *testing.T) {
+	if _, err := NewLogger(io.Discard, "yaml", "info"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := NewLogger(io.Discard, "text", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+	logger, err := NewLogger(io.Discard, "", "")
+	if err != nil || logger == nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if logger.Enabled(nil, slog.LevelDebug) {
+		t.Error("default level admits debug")
+	}
+	debug, err := NewLogger(io.Discard, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !debug.Enabled(nil, slog.LevelDebug) {
+		t.Error("debug level rejects debug")
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured-logging construction for the rumord binaries: one place maps
+// the -log-format/-log-level flags to a *slog.Logger, so every role of the
+// binary (service, coordinator, worker) logs the same shape.
+
+// NewLogger builds a logger writing to w. format selects the handler —
+// "text" (the default when empty) or "json" — and level the minimum
+// severity: "debug", "info" (default), "warn" or "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library configs whose caller supplied none, so call sites never need nil
+// guards.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNewLoggerJSONRoundTrip: a line emitted by the json handler decodes
+// back to its message, level and attributes — the property log shippers
+// depend on.
+func TestNewLoggerJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("service: job settled", "job", "j00000001", "trace", "tr-j00000001", "reps", 64)
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line is not one JSON object: %q: %v", buf.String(), err)
+	}
+	if line["msg"] != "service: job settled" {
+		t.Errorf("msg = %v", line["msg"])
+	}
+	if line["level"] != "INFO" {
+		t.Errorf("level = %v", line["level"])
+	}
+	if line["job"] != "j00000001" || line["trace"] != "tr-j00000001" {
+		t.Errorf("attrs lost: %v", line)
+	}
+	if line["reps"] != float64(64) {
+		t.Errorf("reps = %v", line["reps"])
+	}
+	if _, ok := line["time"]; !ok {
+		t.Error("line carries no timestamp")
+	}
+}
+
+// TestNewLoggerLevels: the level flag gates emission, "warning" aliases
+// "warn", and case is ignored.
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "text", "WARNING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("suppressed")
+	logger.Warn("emitted")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Errorf("info line leaked past warn level: %q", out)
+	}
+	if !strings.Contains(out, "emitted") {
+		t.Errorf("warn line missing: %q", out)
+	}
+}
+
+// TestNewLoggerRejectsUnknown: bad flag values fail loudly at startup, not
+// silently at the first log line.
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "yaml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "json", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+// TestNopLoggerDiscards: the nil-config default emits nothing and never
+// panics.
+func TestNopLoggerDiscards(t *testing.T) {
+	NopLogger().Error("dropped", "key", "value")
+}

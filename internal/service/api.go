@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/obs"
 )
 
 // maxBodyBytes bounds a submission body; scenarios are small declarative
@@ -47,6 +48,7 @@ type RunsResponse struct {
 //	POST   /v1/runs                submit a run (202; 200 on a cache hit)
 //	GET    /v1/runs                list jobs in submission order
 //	GET    /v1/runs/{id}           job status + summary when done
+//	GET    /v1/runs/{id}/trace     the run's flight-recorder timeline
 //	DELETE /v1/runs/{id}           cancel a queued or running job
 //	POST   /v1/sweeps              submit a parameter sweep (202; 200 if
 //	                               every cell was served from the cache)
@@ -55,13 +57,18 @@ type RunsResponse struct {
 //	GET    /v1/sweeps/{id}/events  SSE stream of per-cell summaries
 //	DELETE /v1/sweeps/{id}         cancel a sweep's unfinished cells
 //	GET    /v1/scenarios/families  the network family registry
-//	GET    /healthz                liveness
+//	GET    /healthz                liveness, uptime, subsystem readiness
 //	GET    /metrics                job/cache/budget/throughput counters
+//
+// Every endpoint runs behind the obs.AccessLog middleware: the HTTP latency
+// histogram always records, and with Config.LogRequests each request also
+// emits one structured log line.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
@@ -71,7 +78,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios/families", s.handleFamilies)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	al := obs.AccessLog{Latency: s.histHTTP}
+	if s.logRequests {
+		al.Logger = s.log
+	}
+	return al.Wrap(mux)
 }
 
 // clientKey identifies the submitting client for rate limiting: the remote
@@ -153,7 +164,16 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if view.CacheHit {
 		status = http.StatusOK
 	}
+	setTraceHeader(w, view)
 	writeJSON(w, status, view)
+}
+
+// setTraceHeader stamps a run response with the job's trace ID so the access
+// log attributes the request and clients can follow the timeline.
+func setTraceHeader(w http.ResponseWriter, view JobView) {
+	if view.Trace != "" {
+		w.Header().Set(obs.TraceHeader, view.Trace)
+	}
 }
 
 // writeSubmitError maps the admission errors shared by the run and sweep
@@ -203,6 +223,20 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errUnknownJob)
 		return
 	}
+	setTraceHeader(w, view)
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleTrace serves the run's flight-recorder timeline: every phase span
+// from submission to settlement, including per-shard lease/execute/upload
+// spans when the run executed on the cluster backend.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.traceView(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	w.Header().Set(obs.TraceHeader, view.Trace)
 	writeJSON(w, http.StatusOK, view)
 }
 
@@ -224,6 +258,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if view.State == StateRunning {
 		status = http.StatusAccepted
 	}
+	setTraceHeader(w, view)
 	writeJSON(w, status, view)
 }
 
@@ -366,14 +401,28 @@ func (s *Service) handleFamilies(w http.ResponseWriter, r *http.Request) {
 
 // HealthResponse is the body of GET /healthz. Version identifies the build
 // (module version + VCS revision), so a mixed-version fleet is diagnosable
-// by probing each node's /healthz.
+// by probing each node's /healthz. Status reads "ok" while every configured
+// subsystem is ready and "degraded" otherwise — the endpoint always answers
+// 200, because a degraded daemon is still alive; orchestrators that gate on
+// readiness should inspect the body.
 type HealthResponse struct {
-	Status  string `json:"status"`
-	Version string `json:"version"`
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Subsystems reports per-subsystem readiness: the run ledger ("journal"),
+	// the persistent result cache ("disk_cache") and the distributed backend
+	// ("cluster"), each present only when configured.
+	Subsystems map[string]SubsystemHealth `json:"subsystems,omitempty"`
+}
+
+// SubsystemHealth is one subsystem's readiness line in /healthz.
+type SubsystemHealth struct {
+	Ready  bool   `json:"ready"`
+	Detail string `json:"detail,omitempty"`
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: s.version})
+	writeJSON(w, http.StatusOK, s.health())
 }
 
 // handleMetrics negotiates the representation: JSON by default (and whenever

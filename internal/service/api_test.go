@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dynamicrumor/internal/obs"
 )
 
 // -update regenerates the golden files from the live responses:
@@ -125,6 +127,23 @@ func checkGolden(t *testing.T, name string, got []byte) {
 	}
 }
 
+// stripLatency drops the latency block from a /metrics JSON document: its
+// quantiles measure real wall-clock time, the one part of the response that
+// cannot be pinned by the test clock. Everything else stays byte-comparable.
+func stripLatency(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var m Metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decode metrics %q: %v", data, err)
+	}
+	m.Latency = nil
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 const submitBody = `{"scenario":{"network":{"family":"clique","params":{"n":64}}},"reps":4,"seed":1}`
 
 // An equivalent spelling of submitBody: permuted keys, explicit defaults, a
@@ -167,7 +186,7 @@ func TestLifecycleGolden(t *testing.T) {
 	}
 
 	_, metrics := do(t, http.MethodGet, ts.URL+"/metrics", "")
-	checkGolden(t, "metrics_lifecycle.golden.json", metrics)
+	checkGolden(t, "metrics_lifecycle.golden.json", stripLatency(t, metrics))
 
 	status, health := do(t, http.MethodGet, ts.URL+"/healthz", "")
 	if status != http.StatusOK {
@@ -560,5 +579,122 @@ func TestHistoryPruned(t *testing.T) {
 		if status, _ := do(t, http.MethodGet, ts.URL+"/v1/runs/"+id, ""); status != http.StatusNotFound {
 			t.Fatalf("pruned job %s still served status %d", id, status)
 		}
+	}
+}
+
+// TestTraceEndpoint: a completed run's flight-recorder timeline is served at
+// /v1/runs/{id}/trace with the run's deterministic trace ID, the lifecycle
+// phases in start order, and the X-Trace-Id response header set. Unknown
+// runs 404.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Budget: 2})
+
+	status, body := do(t, http.MethodPost, ts.URL+"/v1/runs", submitBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %s", status, body)
+	}
+	job := decodeJob(t, body)
+	if want := "tr-" + job.ID; job.Trace != want {
+		t.Errorf("submit response trace = %q, want %q", job.Trace, want)
+	}
+	waitState(t, ts.URL, job.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint returned %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != "tr-"+job.ID {
+		t.Errorf("X-Trace-Id header = %q, want %q", got, "tr-"+job.ID)
+	}
+	var view obs.TraceView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Trace != "tr-"+job.ID || view.Run != job.ID {
+		t.Errorf("trace identity = (%q, %q), want (%q, %q)", view.Trace, view.Run, "tr-"+job.ID, job.ID)
+	}
+	have := make(map[string]bool, len(view.Spans))
+	for _, sp := range view.Spans {
+		have[sp.Name] = true
+		if sp.DurationMS < 0 {
+			t.Errorf("span %s has negative duration %v", sp.Name, sp.DurationMS)
+		}
+	}
+	for _, name := range []string{"submitted", "queued", "execute", "run", "settled"} {
+		if !have[name] {
+			t.Errorf("timeline lacks a %q span: %+v", name, view.Spans)
+		}
+	}
+
+	// A cache hit records its own (short) timeline under its own trace ID.
+	status, hitBody := do(t, http.MethodPost, ts.URL+"/v1/runs", submitBodyRespelled)
+	if status != http.StatusOK {
+		t.Fatalf("cache-hit submit returned %d: %s", status, hitBody)
+	}
+	hit := decodeJob(t, hitBody)
+	status, traceBody := do(t, http.MethodGet, ts.URL+"/v1/runs/"+hit.ID+"/trace", "")
+	if status != http.StatusOK {
+		t.Fatalf("cache-hit trace returned %d: %s", status, traceBody)
+	}
+	var hitView obs.TraceView
+	if err := json.Unmarshal(traceBody, &hitView); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range hitView.Spans {
+		if sp.Name == "cache-hit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cache-hit timeline lacks a cache-hit span: %+v", hitView.Spans)
+	}
+
+	if status, _ := do(t, http.MethodGet, ts.URL+"/v1/runs/nope/trace", ""); status != http.StatusNotFound {
+		t.Errorf("unknown run trace returned %d, want 404", status)
+	}
+}
+
+// TestHealthzSubsystems: with durability configured, /healthz reports
+// per-subsystem readiness alongside liveness; a bare service reports none.
+func TestHealthzSubsystems(t *testing.T) {
+	_, ts := newTestServer(t, Config{Budget: 1, StateDir: t.TempDir(), CacheDir: t.TempDir()})
+	status, body := do(t, http.MethodGet, ts.URL+"/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("healthz returned %d", status)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	for _, name := range []string{"journal", "disk_cache"} {
+		sub, ok := h.Subsystems[name]
+		if !ok {
+			t.Errorf("healthz lacks subsystem %q: %s", name, body)
+			continue
+		}
+		if !sub.Ready {
+			t.Errorf("subsystem %q not ready: %+v", name, sub)
+		}
+	}
+
+	_, bare := newTestServer(t, Config{Budget: 1})
+	status, body = do(t, http.MethodGet, bare.URL+"/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("bare healthz returned %d", status)
+	}
+	var bh HealthResponse
+	if err := json.Unmarshal(body, &bh); err != nil {
+		t.Fatal(err)
+	}
+	if bh.Subsystems != nil {
+		t.Errorf("bare service reported subsystems: %s", body)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/obs"
 	"dynamicrumor/internal/sim"
 	"dynamicrumor/internal/stats"
 )
@@ -45,6 +46,11 @@ type BackendRun struct {
 	// results (see engine.CompileSet); backends that execute elsewhere ignore
 	// it and compile on their own nodes.
 	Compile *engine.CompileSet
+	// Trace, when non-nil, receives the backend's phase spans (compilation,
+	// execution, per-shard leases in cluster mode) on the job's
+	// flight-recorder timeline. Purely observational: recording never alters
+	// scheduling, RNG streams or reduction order.
+	Trace *obs.Trace
 }
 
 // BackendResult is a completed run: the completion count and the folded
@@ -114,14 +120,19 @@ func (LocalBackend) Run(ctx context.Context, run BackendRun) (BackendResult, err
 		return nil
 	}
 	var err error
+	start := time.Now()
 	if run.Compile != nil {
 		var compiled *engine.Compiled
 		compiled, err = run.Compile.Compile(run.Scenario)
+		run.Trace.Add(obs.Span{Name: "compiled", Start: start, End: time.Now()})
 		if err == nil {
+			e0 := time.Now()
 			err = eng.RunReduceCompiledCtx(ctx, compiled, run.Reps, reduce)
+			run.Trace.Add(obs.Span{Name: "execute", Start: e0, End: time.Now()})
 		}
 	} else {
 		err = eng.RunReduceCtx(ctx, run.Scenario, run.Reps, reduce)
+		run.Trace.Add(obs.Span{Name: "execute", Start: start, End: time.Now()})
 	}
 	if err != nil {
 		return BackendResult{}, err

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/obs"
 	"dynamicrumor/internal/stats"
 )
 
@@ -75,6 +76,11 @@ type job struct {
 	sweep     *sweep
 	cellLabel string
 	compile   *engine.CompileSet
+
+	// trace is the job's flight-recorder timeline (see internal/obs): phase
+	// spans from submission to settlement, plus per-shard spans in cluster
+	// mode. Never nil after newJobLocked / recovery.
+	trace *obs.Trace
 
 	workers         int
 	repsDone        atomic.Int64
@@ -162,6 +168,9 @@ type JobView struct {
 	// planner's grid-point label. Absent on plain submissions.
 	Sweep string `json:"sweep,omitempty"`
 	Cell  string `json:"cell,omitempty"`
+	// Trace is the run's flight-recorder trace ID; GET /v1/runs/{id}/trace
+	// serves the timeline.
+	Trace string `json:"trace,omitempty"`
 	// RepsDone counts reduced repetitions (= Reps once done).
 	RepsDone    int64  `json:"reps_done"`
 	SubmittedAt string `json:"submitted_at"`
@@ -185,6 +194,7 @@ func (j *job) view() JobView {
 		CoalescedWith:   coalescedID(j),
 		CancelRequested: j.cancelRequested && j.state == StateRunning,
 		Cell:            j.cellLabel,
+		Trace:           j.trace.ID(),
 		RepsDone:        j.repsDone.Load(),
 		SubmittedAt:     rfc3339(j.submitted),
 		StartedAt:       rfc3339(j.started),

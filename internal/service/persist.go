@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/obs"
 	"dynamicrumor/internal/store"
 )
 
@@ -136,14 +137,14 @@ func (s *Service) openLedger(path string) error {
 func (s *Service) recoverSweep(sr sweepRecord) {
 	var req SweepRequest
 	if err := json.Unmarshal(sr.Request, &req); err != nil {
-		s.logf("service: recovery: sweep %s request no longer decodes, dropping: %v", sr.ID, err)
+		s.log.Warn("service: recovery: sweep request no longer decodes, dropping", "sweep", sr.ID, "err", err)
 		return
 	}
 	cells, err := planSweep(req, sr.DefaultStream)
 	if err != nil {
 		// The ledger outlived a planner or scenario schema change; dropping
 		// the sweep is the only option that lets the daemon start.
-		s.logf("service: recovery: sweep %s no longer plans, dropping: %v", sr.ID, err)
+		s.log.Warn("service: recovery: sweep no longer plans, dropping", "sweep", sr.ID, "err", err)
 		return
 	}
 	now := s.clock()
@@ -176,7 +177,7 @@ func (s *Service) recoverSweep(sr sweepRecord) {
 	if sw.total == 0 {
 		s.finalizeSweepLocked(sw)
 	}
-	s.logf("service: recovery: sweep %s re-adopted (%d cells, %d already settled)", sw.id, sw.total, sw.settled)
+	s.log.Info("service: recovery: sweep re-adopted", "sweep", sw.id, "cells", sw.total, "settled", sw.settled)
 }
 
 // recoverJob re-adopts one journalled, unsettled submission: served from
@@ -187,7 +188,7 @@ func (s *Service) recoverJob(sr submitRecord) {
 	if err != nil {
 		// The ledger outlived a scenario schema change; dropping the job is
 		// the only option that lets the daemon start.
-		s.logf("service: recovery: job %s scenario no longer parses, dropping: %v", sr.ID, err)
+		s.log.Warn("service: recovery: job scenario no longer parses, dropping", "job", sr.ID, "err", err)
 		return
 	}
 	key := runKey(sr.Canonical, sr.Seed, sr.Reps)
@@ -209,6 +210,8 @@ func (s *Service) recoverJob(sr submitRecord) {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.startTraceLocked(j, j.submitted)
+	j.trace.Add(obs.Span{Name: "recovered", Start: now, End: now})
 	if n, err := strconv.Atoi(strings.TrimPrefix(sr.ID, "j")); err == nil && n > s.nextID {
 		s.nextID = n
 	}
@@ -221,22 +224,24 @@ func (s *Service) recoverJob(sr submitRecord) {
 		j.cacheHit = true
 		j.started, j.finished = now, now
 		j.summary = summary
+		j.trace.Add(obs.Span{Name: "cache-hit", Start: now, End: now})
 		s.terminal++
-		s.logf("service: recovery: job %s settled from the durable cache", j.id)
+		s.log.Info("service: recovery: job settled from the durable cache", "job", j.id)
 		return
 	}
 	if leader, ok := s.inflight[key]; ok {
 		j.state = StateQueued
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
-		s.logf("service: recovery: job %s coalesced onto recovered run %s", j.id, leader.id)
+		j.trace.Add(obs.Span{Name: "coalesced", Detail: "leader=" + leader.id, Start: now, End: now})
+		s.log.Info("service: recovery: job coalesced onto recovered run", "job", j.id, "leader", leader.id)
 		return
 	}
 	j.state = StateQueued
 	s.queue = append(s.queue, j)
 	s.inflight[key] = j
 	s.recoveredKeys = append(s.recoveredKeys, key)
-	s.logf("service: recovery: job %s re-enqueued (%d reps, seed %d)", j.id, j.reps, j.seed)
+	s.log.Info("service: recovery: job re-enqueued", "job", j.id, "reps", j.reps, "seed", j.seed)
 }
 
 // RecoveredKeys lists the run keys of jobs re-adopted into the queue at
@@ -282,12 +287,12 @@ func (s *Service) journalSettleLocked(j *job) {
 		err = s.journal.Append(store.Record{Type: recSettle, Payload: payload})
 	}
 	if err != nil {
-		s.logf("service: journal settle of %s: %v", j.id, err)
+		s.log.Warn("service: journal settle failed", "job", j.id, "err", err)
 		return
 	}
 	if s.journal.Size() > journalCompactBytes {
 		if err := s.compactLedgerLocked(); err != nil {
-			s.logf("service: journal compaction: %v", err)
+			s.log.Warn("service: journal compaction failed", "err", err)
 		}
 	}
 }
@@ -326,12 +331,12 @@ func (s *Service) journalSweepSettleLocked(sw *sweep) {
 		err = s.journal.Append(store.Record{Type: recSettle, Payload: payload})
 	}
 	if err != nil {
-		s.logf("service: journal settle of sweep %s: %v", sw.id, err)
+		s.log.Warn("service: journal settle failed", "sweep", sw.id, "err", err)
 		return
 	}
 	if s.journal.Size() > journalCompactBytes {
 		if err := s.compactLedgerLocked(); err != nil {
-			s.logf("service: journal compaction: %v", err)
+			s.log.Warn("service: journal compaction failed", "err", err)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -11,6 +12,20 @@ import (
 	"testing"
 	"time"
 )
+
+// testLogger routes structured service logs through the test log so failures
+// carry the service's own account of what happened.
+func testLogger(t *testing.T) *slog.Logger {
+	t.Helper()
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // startPersistServer starts a service whose shutdown the test drives itself —
 // the restart tests close one "process" and open the next over the same
@@ -145,7 +160,7 @@ func TestLedgerRecoversInflightJob(t *testing.T) {
 	stateDir := t.TempDir()
 
 	gate := &gateBackend{release: make(chan struct{})}
-	svc1, ts1 := startPersistServer(t, Config{Budget: 2, StateDir: stateDir, Backend: gate, Logf: t.Logf})
+	svc1, ts1 := startPersistServer(t, Config{Budget: 2, StateDir: stateDir, Backend: gate, Logger: testLogger(t)})
 	status, body := do(t, http.MethodPost, ts1.URL+"/v1/runs", submitBody)
 	if status != http.StatusAccepted {
 		t.Fatalf("submit returned %d: %s", status, body)
@@ -153,7 +168,7 @@ func TestLedgerRecoversInflightJob(t *testing.T) {
 	id := decodeJob(t, body).ID
 	stopPersistServer(svc1, ts1) // dies with the job unfinished
 
-	svc2, ts2 := startPersistServer(t, Config{Budget: 2, StateDir: stateDir, Logf: t.Logf})
+	svc2, ts2 := startPersistServer(t, Config{Budget: 2, StateDir: stateDir, Logger: testLogger(t)})
 	defer stopPersistServer(svc2, ts2)
 	if keys := svc2.RecoveredKeys(); len(keys) != 1 {
 		t.Fatalf("recovered %d run keys, want 1", len(keys))

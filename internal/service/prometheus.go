@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"dynamicrumor/internal/obs"
 )
 
 // Prometheus text exposition of the service metrics (ROADMAP item 5).
@@ -115,7 +117,38 @@ func (s *Service) writePrometheus(w http.ResponseWriter) {
 		}
 	}
 
+	for _, snap := range s.reg.Snapshots() {
+		writePromHistogram(&b, "rumord_"+snap.Name+"_seconds", snap)
+	}
+
 	w.Header().Set("Content-Type", promContentType)
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(b.String()))
+}
+
+// writePromHistogram renders one latency histogram as a classic Prometheus
+// histogram family: cumulative _bucket series for every non-empty bucket plus
+// the mandatory le="+Inf" bucket, then _sum (seconds) and _count. Empty
+// buckets are elided — scrapers reconstruct them from the cumulative counts —
+// which keeps the exposition proportional to observed spread, not to the 106
+// fixed buckets.
+func writePromHistogram(b *strings.Builder, name string, snap obs.Snapshot) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, snap.Help, name)
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		bound := obs.BucketBound(i)
+		if bound < 0 {
+			// The overflow bucket is covered by the unconditional +Inf line.
+			continue
+		}
+		le := strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64)
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Total())
+	fmt.Fprintf(b, "%s_sum %s\n", name, strconv.FormatFloat(float64(snap.SumNanos)/1e9, 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count %d\n", name, snap.Total())
 }

@@ -1,9 +1,13 @@
 package service
 
 import (
+	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
+
+	"dynamicrumor/internal/obs"
 )
 
 // TestWantsPrometheus pins the content-negotiation rule.
@@ -52,9 +56,11 @@ func TestMetricsPrometheusText(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Fatalf("prometheus scrape served Content-Type %q", ct)
 	}
-	buf := make([]byte, 1<<16)
-	n, _ := resp.Body.Read(buf)
-	text := string(buf[:n])
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
 	for _, want := range []string{
 		`rumord_build_info{version="test"} 1`,
 		`rumord_jobs{state="done"} 1`,
@@ -67,6 +73,26 @@ func TestMetricsPrometheusText(t *testing.T) {
 			t.Errorf("exposition output lacks %q:\n%s", want, text)
 		}
 	}
+	// Every latency histogram the service registers must render as a full
+	// classic-histogram family: _bucket (with the mandatory +Inf), _sum and
+	// _count. The lease histogram is present even on a local backend — it is
+	// registered up front so dashboards keep a stable metric set.
+	for _, family := range []string{
+		"rumord_queue_wait_seconds",
+		"rumord_run_duration_seconds",
+		"rumord_cache_lookup_seconds",
+		"rumord_http_request_seconds",
+		"rumord_lease_roundtrip_seconds",
+	} {
+		for _, suffix := range []string{`_bucket{le="+Inf"} `, "_sum ", "_count "} {
+			if !strings.Contains(text, family+suffix) {
+				t.Errorf("exposition output lacks %s%s series:\n%s", family, suffix, text)
+			}
+		}
+		if !strings.Contains(text, "# TYPE "+family+" histogram") {
+			t.Errorf("family %s is not declared as a histogram", family)
+		}
+	}
 	if strings.Contains(text, "rumord_cluster_") {
 		t.Error("local backend exported cluster gauges")
 	}
@@ -75,5 +101,52 @@ func TestMetricsPrometheusText(t *testing.T) {
 	_, jsonBody := do(t, http.MethodGet, ts.URL+"/metrics", "")
 	if !strings.HasPrefix(string(jsonBody), `{"jobs":`) {
 		t.Errorf("default /metrics is not the JSON document: %s", jsonBody)
+	}
+}
+
+// TestWritePromHistogram pins the exposition rendering of one histogram
+// byte-for-byte: hand-fed observations land in known log-linear buckets, so
+// the cumulative _bucket lines, _sum and _count are exact.
+func TestWritePromHistogram(t *testing.T) {
+	h := obs.NewHistogram("demo", "Demo histogram.")
+	h.Observe(1 * time.Millisecond)
+	h.Observe(1 * time.Millisecond)
+	h.Observe(250 * time.Millisecond)
+	h.Observe(3 * time.Second)
+
+	var b strings.Builder
+	writePromHistogram(&b, "rumord_demo_seconds", h.Snapshot())
+	want := `# HELP rumord_demo_seconds Demo histogram.
+# TYPE rumord_demo_seconds histogram
+rumord_demo_seconds_bucket{le="0.001048576"} 2
+rumord_demo_seconds_bucket{le="0.268435456"} 3
+rumord_demo_seconds_bucket{le="3.221225472"} 4
+rumord_demo_seconds_bucket{le="+Inf"} 4
+rumord_demo_seconds_sum 3.252
+rumord_demo_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("rendered exposition differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePromHistogramOverflow: an observation beyond the largest bucket
+// bound appears only in the +Inf bucket — no bogus finite le line — while
+// _sum and _count still account for it.
+func TestWritePromHistogramOverflow(t *testing.T) {
+	h := obs.NewHistogram("over", "Overflow histogram.")
+	h.Observe(200 * time.Hour) // past the top octave (~68.7s * 1000)
+
+	var b strings.Builder
+	writePromHistogram(&b, "rumord_over_seconds", h.Snapshot())
+	got := b.String()
+	if strings.Count(got, "_bucket{") != 1 {
+		t.Errorf("overflow rendered a finite bucket line:\n%s", got)
+	}
+	if !strings.Contains(got, `rumord_over_seconds_bucket{le="+Inf"} 1`) {
+		t.Errorf("missing +Inf bucket:\n%s", got)
+	}
+	if !strings.Contains(got, "rumord_over_seconds_count 1") {
+		t.Errorf("missing count:\n%s", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 
 	"dynamicrumor/internal/buildinfo"
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/obs"
 	"dynamicrumor/internal/runner"
 	"dynamicrumor/internal/sim"
 	"dynamicrumor/internal/store"
@@ -78,8 +80,19 @@ type Config struct {
 	// RateBurst is the token-bucket capacity (<= 0 selects twice the rate,
 	// at least 1). Ignored unless RatePerSec is positive.
 	RateBurst int
-	// Logf, when non-nil, receives durability and recovery events.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives the service's structured log events
+	// (durability, recovery, scheduling); nil discards them. Every line
+	// carries the relevant run/sweep/trace IDs as attributes.
+	Logger *slog.Logger
+	// Observe, when non-nil, is the shared latency-histogram registry; nil
+	// selects a private one. cmd/rumord hands the service and the cluster
+	// coordinator the same registry so lease round-trip latency lands in the
+	// same /metrics document.
+	Observe *obs.Registry
+	// LogRequests enables the structured HTTP access log on every endpoint
+	// (one line per request with method, path, status, bytes, duration and
+	// trace ID). The HTTP latency histogram records regardless.
+	LogRequests bool
 	// Clock overrides the time source (tests pin it for golden responses).
 	Clock func() time.Time
 }
@@ -95,7 +108,17 @@ type Service struct {
 	backend       Backend
 	version       string
 	clock         func() time.Time
-	logf          func(format string, args ...any)
+	log           *slog.Logger
+	logRequests   bool
+
+	// Observability (see internal/obs): the shared histogram registry, the
+	// bounded flight recorder of run timelines, and the hot-path histograms.
+	reg           *obs.Registry
+	rec           *obs.Recorder
+	histQueueWait *obs.Histogram
+	histRun       *obs.Histogram
+	histCacheGet  *obs.Histogram
+	histHTTP      *obs.Histogram
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -168,7 +191,9 @@ func New(cfg Config) (*Service, error) {
 		backend:       cfg.Backend,
 		version:       cfg.Version,
 		clock:         cfg.Clock,
-		logf:          cfg.Logf,
+		log:           cfg.Logger,
+		logRequests:   cfg.LogRequests,
+		reg:           cfg.Observe,
 	}
 	if s.backend == nil {
 		s.backend = LocalBackend{}
@@ -188,9 +213,21 @@ func New(cfg Config) (*Service, error) {
 	if s.clock == nil {
 		s.clock = time.Now
 	}
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	if s.log == nil {
+		s.log = obs.NopLogger()
 	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	// Register every histogram at startup — including the lease round-trip
+	// one the coordinator records into when it shares this registry — so the
+	// /metrics document exposes the full set in every deployment mode.
+	s.rec = obs.NewRecorder(0)
+	s.histQueueWait = s.reg.Histogram("queue_wait", "Seconds jobs spent queued before dispatch.")
+	s.histRun = s.reg.Histogram("run_duration", "Seconds dispatched jobs spent running to done.")
+	s.histCacheGet = s.reg.Histogram("cache_lookup", "Seconds spent in result cache lookups (memory, then disk).")
+	s.reg.Histogram("lease_roundtrip", "Seconds from cluster lease grant to its settled result upload.")
+	s.histHTTP = s.reg.Histogram("http_request", "Seconds serving HTTP requests across every endpoint.")
 	cacheLimit := cfg.CacheLimit
 	if cacheLimit <= 0 {
 		cacheLimit = 1024
@@ -245,7 +282,7 @@ func (s *Service) Close() {
 	s.wg.Wait()
 	if s.journal != nil {
 		if err := s.journal.Close(); err != nil {
-			s.logf("service: journal close: %v", err)
+			s.log.Error("service: journal close failed", "err", err)
 		}
 	}
 }
@@ -271,6 +308,7 @@ func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed ui
 		j.cacheHit = true
 		j.started, j.finished = now, now
 		j.summary = summary
+		j.trace.Add(obs.Span{Name: "cache-hit", Start: now, End: now})
 		s.markTerminalLocked(j)
 		s.pruneHistoryLocked()
 		return j.view(), nil
@@ -284,6 +322,7 @@ func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed ui
 		j.state = StateQueued
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
+		j.trace.Add(obs.Span{Name: "coalesced", Detail: "leader=" + leader.id, Start: now, End: now})
 		return j.view(), nil
 	}
 	// Only submissions that need new work consult backend readiness: cache
@@ -320,8 +359,11 @@ func (s *Service) submit(sc engine.Scenario, canonical []byte, reps int, seed ui
 
 // lookupCacheLocked consults the in-memory result cache and, on a miss, the
 // disk-backed one, promoting a disk hit back into memory. Callers hold the
-// mutex.
+// mutex. Lookup latency — dominated by the disk tier on memory misses —
+// feeds the cache_lookup histogram.
 func (s *Service) lookupCacheLocked(key string) (json.RawMessage, bool) {
+	t0 := time.Now()
+	defer func() { s.histCacheGet.Observe(time.Since(t0)) }()
 	if summary, ok := s.cache.get(key); ok {
 		return summary, true
 	}
@@ -391,7 +433,22 @@ func (s *Service) newJobLocked(sc engine.Scenario, canonical []byte, key string,
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.startTraceLocked(j, now)
 	return j
+}
+
+// startTraceLocked opens the job's flight-recorder timeline. Trace IDs are
+// deterministic — "tr-" plus the job ID — so golden responses stay stable
+// and a cluster worker's spans stitch into the same timeline by ID alone.
+// Callers hold the mutex.
+func (s *Service) startTraceLocked(j *job, now time.Time) {
+	j.trace = s.rec.Start("tr-"+j.id, j.id)
+	j.trace.Add(obs.Span{
+		Name:   "submitted",
+		Detail: fmt.Sprintf("reps=%d seed=%d", j.reps, j.seed),
+		Start:  now,
+		End:    now,
+	})
 }
 
 // grantWorkers decides a dispatched job's share of the worker budget: every
@@ -431,6 +488,8 @@ func (s *Service) dispatch() {
 		j.workers = workers
 		j.state = StateRunning
 		j.started = s.clock()
+		j.trace.Add(obs.Span{Name: "queued", Start: j.submitted, End: j.started})
+		s.histQueueWait.Observe(j.started.Sub(j.submitted))
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		j.cancel = cancel
 		s.wg.Add(1)
@@ -460,6 +519,7 @@ func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc,
 			s.repsDone.Add(delta)
 		},
 		Compile: j.compile,
+		Trace:   j.trace,
 	})
 	var summary []byte
 	if err == nil {
@@ -481,7 +541,7 @@ func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc,
 			// Write through before the settle record: once the ledger calls a
 			// run settled, its result must be durably replayable.
 			if derr := s.disk.Put(j.key, summary); derr != nil {
-				s.logf("service: disk cache write of %s: %v", j.key, derr)
+				s.log.Warn("service: disk cache write failed", "job", j.id, "key", j.key, "err", derr)
 			}
 		}
 		s.finishedReps += int64(j.reps)
@@ -492,6 +552,11 @@ func (s *Service) runJob(j *job, ctx context.Context, cancel context.CancelFunc,
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
+	}
+	j.trace.Add(obs.Span{Name: "run", Detail: fmt.Sprintf("workers=%d", workers), Start: j.started, End: j.finished})
+	j.trace.Add(obs.Span{Name: "settled", Detail: string(j.state), Start: j.finished, End: j.finished})
+	if j.state == StateDone {
+		s.histRun.Observe(j.finished.Sub(j.started))
 	}
 	s.markTerminalLocked(j)
 	if !(j.state == StateCancelled && s.closed) {
@@ -556,7 +621,7 @@ func (s *Service) settleFollowersLocked(leader *job) {
 			// record re-plans them, and a duplicate submit record would
 			// re-adopt the cell twice.
 			if err := s.journalSubmitLocked(next); err != nil {
-				s.logf("service: journal promoted follower %s: %v", next.id, err)
+				s.log.Warn("service: journal promoted follower failed", "job", next.id, "err", err)
 			}
 		}
 		s.queue = append(s.queue, next)
@@ -686,6 +751,19 @@ type Metrics struct {
 	// RateLimit carries the admission-limiter counters when -rate is
 	// configured; absent otherwise.
 	RateLimit *RateLimitStats `json:"rate_limit,omitempty"`
+	// Latency summarizes the latency histograms (queue wait, run duration,
+	// cache lookup, lease round-trip, HTTP handler) by name; the Prometheus
+	// rendering of /metrics exposes the full bucket series.
+	Latency map[string]LatencyStats `json:"latency,omitempty"`
+}
+
+// LatencyStats is the JSON summary of one latency histogram.
+type LatencyStats struct {
+	Count      uint64  `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
 }
 
 // RateLimitStats are the per-client admission limiter counters.
@@ -812,5 +890,68 @@ func (s *Service) metrics() Metrics {
 		}
 		m.Durability = d
 	}
+	m.Latency = make(map[string]LatencyStats)
+	for _, snap := range s.reg.Snapshots() {
+		m.Latency[snap.Name] = LatencyStats{
+			Count:      snap.Total(),
+			SumSeconds: float64(snap.SumNanos) / 1e9,
+			P50Ms:      snap.Quantile(0.5) * 1e3,
+			P90Ms:      snap.Quantile(0.9) * 1e3,
+			P99Ms:      snap.Quantile(0.99) * 1e3,
+		}
+	}
 	return m
+}
+
+// health snapshots the /healthz document: uptime, build identity, and the
+// readiness of each configured subsystem. A subsystem that cannot take new
+// work (a cluster backend with zero live workers) degrades the status without
+// failing the probe — the daemon itself is still alive.
+func (s *Service) health() HealthResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := HealthResponse{
+		Status:        "ok",
+		Version:       s.version,
+		UptimeSeconds: s.clock().Sub(s.started).Seconds(),
+		Subsystems:    make(map[string]SubsystemHealth),
+	}
+	if s.journal != nil {
+		h.Subsystems["journal"] = SubsystemHealth{
+			Ready:  true,
+			Detail: fmt.Sprintf("%d bytes", s.journal.Size()),
+		}
+	}
+	if s.disk != nil {
+		h.Subsystems["disk_cache"] = SubsystemHealth{
+			Ready:  true,
+			Detail: fmt.Sprintf("%d entries", s.disk.Stats().Entries),
+		}
+	}
+	if rc, ok := s.backend.(readyChecker); ok {
+		sub := SubsystemHealth{Ready: true}
+		if err := rc.Ready(); err != nil {
+			sub.Ready = false
+			sub.Detail = err.Error()
+			h.Status = "degraded"
+		}
+		h.Subsystems["cluster"] = sub
+	}
+	if len(h.Subsystems) == 0 {
+		h.Subsystems = nil
+	}
+	return h
+}
+
+// traceView fetches one run's flight-recorder timeline by job ID. The trace
+// lives on the job record, so it is available as long as the job is — the
+// recorder's FIFO bound only governs lookups by bare trace ID.
+func (s *Service) traceView(id string) (obs.TraceView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok || j.trace == nil {
+		return obs.TraceView{}, false
+	}
+	return j.trace.View(), true
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dynamicrumor/internal/engine"
+	"dynamicrumor/internal/obs"
 )
 
 // The sweep subsystem: one POST /v1/sweeps submission declares a parameter
@@ -279,7 +280,14 @@ type SweepCellView struct {
 	Key      string `json:"key"`
 	Seed     uint64 `json:"seed"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
-	Error    string `json:"error,omitempty"`
+	// Trace is the cell's flight-recorder trace ID (GET /v1/runs/{id}/trace).
+	Trace string `json:"trace,omitempty"`
+	// QueueMS and RunMS summarize the cell's timeline in the aggregate table:
+	// milliseconds spent queued and running. Zero (and omitted) until the
+	// respective phase completes.
+	QueueMS float64 `json:"queue_ms,omitempty"`
+	RunMS   float64 `json:"run_ms,omitempty"`
+	Error   string  `json:"error,omitempty"`
 	// Summary holds the cell's result document once it is done,
 	// byte-identical to the standalone run's summary.
 	Summary json.RawMessage `json:"summary,omitempty"`
@@ -423,6 +431,7 @@ func (s *Service) adoptCellLocked(sw *sweep, idx int, pc plannedCell, now time.T
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	sw.cells = append(sw.cells, j)
+	s.startTraceLocked(j, now)
 	if summary, ok := s.lookupCacheLocked(pc.key); ok {
 		if !recovered {
 			s.hits++
@@ -431,6 +440,7 @@ func (s *Service) adoptCellLocked(sw *sweep, idx int, pc plannedCell, now time.T
 		j.cacheHit = true
 		j.started, j.finished = now, now
 		j.summary = summary
+		j.trace.Add(obs.Span{Name: "cache-hit", Start: now, End: now})
 		s.markTerminalLocked(j)
 		return
 	}
@@ -441,6 +451,7 @@ func (s *Service) adoptCellLocked(sw *sweep, idx int, pc plannedCell, now time.T
 		j.state = StateQueued
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
+		j.trace.Add(obs.Span{Name: "coalesced", Detail: "leader=" + leader.id, Start: now, End: now})
 		return
 	}
 	if !recovered {
@@ -521,7 +532,7 @@ func (s *Service) finalizeSweepLocked(sw *sweep) {
 func (s *Service) appendSweepEventLocked(sw *sweep, name string, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		s.logf("service: encode sweep %s %q event: %v", sw.id, name, err)
+		s.log.Error("service: encode sweep event failed", "sweep", sw.id, "event", name, "err", err)
 		return
 	}
 	sw.events = append(sw.events, sweepEvent{id: len(sw.events) + 1, name: name, data: data})
@@ -556,16 +567,24 @@ func (s *Service) sweepViewLocked(sw *sweep, withCells bool) SweepView {
 	}
 	v.Cells = make([]SweepCellView, 0, len(sw.cells))
 	for _, c := range sw.cells {
-		v.Cells = append(v.Cells, SweepCellView{
+		cv := SweepCellView{
 			Cell:     c.cellLabel,
 			Run:      c.id,
 			State:    c.state,
 			Key:      c.key,
 			Seed:     c.seed,
 			CacheHit: c.cacheHit,
+			Trace:    c.trace.ID(),
 			Error:    c.errMsg,
 			Summary:  c.summary,
-		})
+		}
+		if !c.started.IsZero() {
+			cv.QueueMS = float64(c.started.Sub(c.submitted)) / float64(time.Millisecond)
+			if !c.finished.IsZero() {
+				cv.RunMS = float64(c.finished.Sub(c.started)) / float64(time.Millisecond)
+			}
+		}
+		v.Cells = append(v.Cells, cv)
 	}
 	return v
 }

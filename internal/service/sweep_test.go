@@ -325,7 +325,7 @@ func TestSweepRecoveryAfterKill(t *testing.T) {
 	body := `{"sweep":{"family":"clique","n":[16,24],"seeds":[1]},"reps":2}`
 
 	gate := &gateBackend{release: make(chan struct{})}
-	svc1, ts1 := startPersistServer(t, Config{Budget: 1, StateDir: stateDir, Backend: gate, Logf: t.Logf})
+	svc1, ts1 := startPersistServer(t, Config{Budget: 1, StateDir: stateDir, Backend: gate, Logger: testLogger(t)})
 	status, resp := do(t, http.MethodPost, ts1.URL+"/v1/sweeps", body)
 	if status != http.StatusAccepted {
 		t.Fatalf("sweep submit returned %d: %s", status, resp)
@@ -333,7 +333,7 @@ func TestSweepRecoveryAfterKill(t *testing.T) {
 	id := decodeSweep(t, resp).ID
 	stopPersistServer(svc1, ts1) // dies with every cell unfinished
 
-	svc2, ts2 := startPersistServer(t, Config{Budget: 2, StateDir: stateDir, Logf: t.Logf})
+	svc2, ts2 := startPersistServer(t, Config{Budget: 2, StateDir: stateDir, Logger: testLogger(t)})
 	defer stopPersistServer(svc2, ts2)
 	if keys := svc2.RecoveredKeys(); len(keys) != 2 {
 		t.Fatalf("recovered %d run keys, want 2 (one per cell)", len(keys))
@@ -389,7 +389,7 @@ func TestSweepRecoverySettlesFromDurableCache(t *testing.T) {
 	svc1.mu.Unlock()
 	stopPersistServer(svc1, ts1)
 
-	svc2, ts2 := startPersistServer(t, Config{Budget: 2, StateDir: stateDir, CacheDir: cacheDir, Logf: t.Logf})
+	svc2, ts2 := startPersistServer(t, Config{Budget: 2, StateDir: stateDir, CacheDir: cacheDir, Logger: testLogger(t)})
 	defer stopPersistServer(svc2, ts2)
 	if keys := svc2.RecoveredKeys(); len(keys) != 0 {
 		t.Fatalf("recovered %d run keys, want 0 (all cells durably cached)", len(keys))

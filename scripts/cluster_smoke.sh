@@ -73,11 +73,50 @@ if ! cmp -s "$TMP/cluster.json" "$TMP/local.json"; then
     exit 1
 fi
 
-# The coordinator's Prometheus exposition must carry the cluster gauges.
-if ! curl -fsS -H 'Accept: text/plain' "http://$COORD/metrics" | grep -q '^rumord_cluster_workers'; then
+# The coordinator's Prometheus exposition must carry the cluster gauges and
+# the shared lease round-trip histogram, which must have observed every
+# settled shard of the run.
+curl -fsS -H 'Accept: text/plain' "http://$COORD/metrics" >"$TMP/prom.txt"
+if ! grep -q '^rumord_cluster_workers' "$TMP/prom.txt"; then
     echo "FAIL: coordinator /metrics exposition lacks rumord_cluster_workers" >&2
+    exit 1
+fi
+for series in 'rumord_lease_roundtrip_seconds_bucket{le="+Inf"}' \
+    rumord_lease_roundtrip_seconds_sum rumord_lease_roundtrip_seconds_count; do
+    if ! grep -qF "$series" "$TMP/prom.txt"; then
+        echo "FAIL: coordinator /metrics lacks $series" >&2
+        exit 1
+    fi
+done
+leases=$(sed -n 's/^rumord_lease_roundtrip_seconds_count \([0-9]*\)$/\1/p' "$TMP/prom.txt")
+if [ "${leases:-0}" -lt 1 ]; then
+    echo "FAIL: lease_roundtrip histogram counted ${leases:-0} uploads after a distributed run" >&2
+    exit 1
+fi
+
+# The distributed run's flight-recorder timeline stitches coordinator and
+# worker spans under the one trace ID minted at submission: lease spans
+# (coordinator clock) and execute spans (worker clock, worker ID attached).
+run_id=$(curl -fsS "http://$COORD/v1/runs" | sed -n 's/.*"runs":\[{"id":"\([^"]*\)".*/\1/p')
+if [ -z "$run_id" ]; then
+    echo "FAIL: coordinator lists no runs after the smoke ensemble" >&2
+    exit 1
+fi
+curl -fsS "http://$COORD/v1/runs/$run_id/trace" >"$TMP/trace.json"
+if ! grep -q "\"trace\":\"tr-$run_id\"" "$TMP/trace.json"; then
+    echo "FAIL: trace document does not carry tr-$run_id: $(cat "$TMP/trace.json")" >&2
+    exit 1
+fi
+for span in submitted lease execute settled; do
+    if ! grep -q "\"name\":\"$span\"" "$TMP/trace.json"; then
+        echo "FAIL: cluster trace lacks a $span span: $(cat "$TMP/trace.json")" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"worker":"w' "$TMP/trace.json"; then
+    echo "FAIL: cluster trace carries no worker-attributed spans: $(cat "$TMP/trace.json")" >&2
     exit 1
 fi
 
 reassigned=$(grep -c 'returned to pool' "$TMP/coord.log" || true)
-echo "cluster smoke OK: distributed summary byte-identical to single-node (leases reassigned: ${reassigned:-0})"
+echo "cluster smoke OK: distributed summary byte-identical to single-node, trace stitched (leases reassigned: ${reassigned:-0})"

@@ -16,16 +16,40 @@
 #      exactly when the sweep settles, so the stream's transfer time is the
 #      submit-to-done wall clock.
 #
-# Deliberately no load *concurrency*: percentiles from a sequential loop on
-# an otherwise idle daemon are reproducible enough to compare across
-# commits, which is what a committed trajectory needs.
+# By default there is no load *concurrency*: percentiles from a sequential
+# loop on an otherwise idle daemon are reproducible enough to compare across
+# commits, which is what a committed trajectory needs. With `-clients N
+# -duration S` phase 1 instead runs N concurrent submission loops for S
+# seconds — a contention measurement, not a trajectory point — and the
+# output additionally embeds the daemon's own latency-histogram percentiles
+# scraped from /metrics, so client-observed and server-observed latency can
+# be compared in one document.
 #
-# Usage: sh scripts/service_load.sh   (or: make bench-service)
+# Usage: sh scripts/service_load.sh [-clients N] [-duration SECONDS]
+#        (or: make bench-service)
 set -eu
 
 cd "$(dirname "$0")/.."
 ADDR=127.0.0.1:18084
 SUBMITS=${SUBMITS:-60}
+CLIENTS=${CLIENTS:-0}
+DURATION=${DURATION:-10}
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -clients)
+        CLIENTS="$2"
+        shift 2
+        ;;
+    -duration)
+        DURATION="$2"
+        shift 2
+        ;;
+    *)
+        echo "usage: $0 [-clients N] [-duration SECONDS]" >&2
+        exit 2
+        ;;
+    esac
+done
 TMP="$(mktemp -d)"
 PID=
 trap '[ -z "$PID" ] || kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
@@ -46,18 +70,48 @@ until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
     sleep 0.1
 done
 
-# Phase 1: sequential submission latency. Every submission is a distinct
-# (scenario, seed) so none is a cache hit or coalesced — each exercises the
-# full admission path (parse, canonicalize, key, enqueue).
+# Phase 1: submission latency. Every submission is a distinct (scenario,
+# seed) so none is a cache hit or coalesced — each exercises the full
+# admission path (parse, canonicalize, key, enqueue). Sequential by default;
+# -clients N runs N concurrent loops with disjoint seed spaces instead.
 : >"$TMP/lat.txt"
-i=1
-while [ "$i" -le "$SUBMITS" ]; do
-    curl -fsS -o /dev/null -w '%{time_total}\n' \
-        -X POST "http://$ADDR/v1/runs" -H 'Content-Type: application/json' \
-        -d "{\"scenario\":{\"network\":{\"family\":\"clique\",\"params\":{\"n\":64}}},\"reps\":4,\"seed\":$i}" \
-        >>"$TMP/lat.txt"
-    i=$((i + 1))
-done
+if [ "$CLIENTS" -gt 0 ]; then
+    end=$(($(date +%s) + DURATION))
+    CPIDS=
+    c=0
+    while [ "$c" -lt "$CLIENTS" ]; do
+        (
+            seed=$((c * 1000000 + 1))
+            while [ "$(date +%s)" -lt "$end" ]; do
+                curl -fsS -o /dev/null -w '%{time_total}\n' \
+                    -X POST "http://$ADDR/v1/runs" -H 'Content-Type: application/json' \
+                    -d "{\"scenario\":{\"network\":{\"family\":\"clique\",\"params\":{\"n\":64}}},\"reps\":4,\"seed\":$seed}" \
+                    >>"$TMP/lat.$c.txt" || true
+                seed=$((seed + 1))
+            done
+        ) &
+        CPIDS="$CPIDS $!"
+        c=$((c + 1))
+    done
+    for cpid in $CPIDS; do
+        wait "$cpid"
+    done
+    cat "$TMP"/lat.*.txt >"$TMP/lat.txt"
+    SUBMITS=$(wc -l <"$TMP/lat.txt" | tr -d ' ')
+    if [ "$SUBMITS" -eq 0 ]; then
+        echo "multi-client phase produced no submissions" >&2
+        exit 1
+    fi
+else
+    i=1
+    while [ "$i" -le "$SUBMITS" ]; do
+        curl -fsS -o /dev/null -w '%{time_total}\n' \
+            -X POST "http://$ADDR/v1/runs" -H 'Content-Type: application/json' \
+            -d "{\"scenario\":{\"network\":{\"family\":\"clique\",\"params\":{\"n\":64}}},\"reps\":4,\"seed\":$i}" \
+            >>"$TMP/lat.txt"
+        i=$((i + 1))
+    done
+fi
 
 # Drain the queue before the sweep phase so its wall clock is not paying for
 # phase 1's backlog.
@@ -95,6 +149,16 @@ if [ "$state" != "done" ]; then
     exit 1
 fi
 
+# The daemon's own latency histograms (queue wait, run duration, cache
+# lookup, HTTP handler), summarized as count/sum/percentiles per histogram.
+# "latency" is the final member of the /metrics JSON document, so everything
+# after its key, minus the document's closing brace, is the block verbatim.
+server_latency=$(curl -fsS "http://$ADDR/metrics" | sed -n 's/.*"latency":\(.*\)}$/\1/p')
+if [ -z "$server_latency" ]; then
+    echo "/metrics carried no latency block" >&2
+    exit 1
+fi
+
 out="BENCH_SERVICE_$(date -u +%Y-%m-%d).json"
 i=2
 while [ -e "$out" ]; do
@@ -106,9 +170,10 @@ sort -n "$TMP/lat.txt" | awk \
     -v date="$(date -u +%Y-%m-%d)" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v goversion="$(go version | awk '{print $3}')" \
-    -v submits="$SUBMITS" \
+    -v submits="$SUBMITS" -v clients="$CLIENTS" -v duration="$DURATION" \
     -v sweep_submit="$sweep_submit" -v sweep_wall="$sweep_wall" \
-    -v sweep_cells="${sweep_cells:-0}" '
+    -v sweep_cells="${sweep_cells:-0}" \
+    -v server_latency="$server_latency" '
     { lat[NR] = $1; sum += $1 }
     END {
         p50 = lat[int((NR - 1) * 0.50) + 1]
@@ -118,12 +183,18 @@ sort -n "$TMP/lat.txt" | awk \
         printf "  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n", date, commit, goversion
         printf "  \"submit\": {\n"
         printf "    \"count\": %d,\n", submits
+        if (clients > 0)
+            printf "    \"clients\": %d,\n    \"duration_s\": %d,\n", clients, duration
         printf "    \"p50_ms\": %.2f,\n    \"p90_ms\": %.2f,\n    \"p99_ms\": %.2f,\n    \"max_ms\": %.2f,\n", \
             p50 * 1000, p90 * 1000, p99 * 1000, lat[NR] * 1000
-        printf "    \"sequential_per_sec\": %.1f\n  },\n", NR / sum
+        if (clients > 0)
+            printf "    \"submits_per_sec\": %.1f\n  },\n", NR / duration
+        else
+            printf "    \"sequential_per_sec\": %.1f\n  },\n", NR / sum
         printf "  \"sweep\": {\n"
-        printf "    \"cells\": %d,\n    \"submit_ms\": %.2f,\n    \"wall_ms\": %.2f\n  }\n", \
+        printf "    \"cells\": %d,\n    \"submit_ms\": %.2f,\n    \"wall_ms\": %.2f\n  },\n", \
             sweep_cells, sweep_submit * 1000, sweep_wall * 1000
+        printf "  \"server_latency\": %s\n", server_latency
         printf "}\n"
     }' >"$out"
 

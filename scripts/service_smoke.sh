@@ -58,6 +58,46 @@ if [ "${hits:-0}" -lt 2 ]; then
     exit 1
 fi
 
+# The Prometheus rendering of /metrics must expose the latency histograms as
+# full classic-histogram families: _bucket (with the mandatory +Inf bound),
+# _sum and _count for each.
+curl -fsS -H 'Accept: text/plain;version=0.0.4' "http://$ADDR/metrics" >"$TMP/prom.txt"
+for family in rumord_queue_wait_seconds rumord_run_duration_seconds \
+    rumord_cache_lookup_seconds rumord_http_request_seconds rumord_lease_roundtrip_seconds; do
+    for series in "${family}_bucket{le=\"+Inf\"}" "${family}_sum" "${family}_count"; do
+        if ! grep -qF "$series" "$TMP/prom.txt"; then
+            echo "FAIL: Prometheus /metrics lacks $series" >&2
+            exit 1
+        fi
+    done
+done
+# Histograms that measured real work must have counted it.
+qw=$(sed -n 's/^rumord_queue_wait_seconds_count \([0-9]*\)$/\1/p' "$TMP/prom.txt")
+if [ "${qw:-0}" -lt 1 ]; then
+    echo "FAIL: queue_wait histogram counted ${qw:-0} observations after runs" >&2
+    exit 1
+fi
+
+# Every run serves its flight-recorder timeline: pick one run ID from the
+# list (a sweep cell here, e.g. s00000001.c000) and require a well-formed
+# trace with its phase spans.
+run_id=$(curl -fsS "http://$ADDR/v1/runs" | sed -n 's/.*"runs":\[{"id":"\([^"]*\)".*/\1/p')
+if [ -z "$run_id" ]; then
+    echo "FAIL: no runs listed after the smoke sweeps" >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/v1/runs/$run_id/trace" >"$TMP/trace.json"
+if ! grep -q "\"trace\":\"tr-$run_id\"" "$TMP/trace.json"; then
+    echo "FAIL: trace document does not carry tr-$run_id: $(cat "$TMP/trace.json")" >&2
+    exit 1
+fi
+for span in submitted queued settled; do
+    if ! grep -q "\"name\":\"$span\"" "$TMP/trace.json"; then
+        echo "FAIL: trace lacks a $span span: $(cat "$TMP/trace.json")" >&2
+        exit 1
+    fi
+done
+
 if [ "${1:-}" = "-update" ]; then
     cp "$TMP/first.json" "$GOLDEN"
     echo "wrote $GOLDEN"
@@ -70,4 +110,4 @@ if ! cmp -s "$TMP/first.json" "$GOLDEN"; then
     exit 1
 fi
 
-echo "service smoke OK: summaries match golden, resubmission cache-hit byte-identical"
+echo "service smoke OK: summaries match golden, resubmission cache-hit byte-identical, histograms and traces served"
